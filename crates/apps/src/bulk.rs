@@ -1,0 +1,154 @@
+//! Bulk data transfer (the Fig. 10 workload).
+//!
+//! Repeatedly transfers a fixed-size file over a link with background
+//! random loss and reports flow-completion times — the metric where
+//! consistent rate control (low FCT variance) shows up.
+
+use mocc_netsim::cc::CongestionControl;
+use mocc_netsim::metrics::{mean, std_dev};
+use mocc_netsim::{Scenario, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Bulk-transfer experiment parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BulkConfig {
+    /// File size in bytes (the paper transfers 100 MB).
+    pub file_bytes: u64,
+    /// Bottleneck bandwidth, bps.
+    pub bandwidth_bps: f64,
+    /// One-way delay, ms.
+    pub owd_ms: u64,
+    /// Queue size, packets.
+    pub queue_pkts: usize,
+    /// Background random loss (the paper adds 0.5 %).
+    pub loss: f64,
+    /// Number of repeated transfers.
+    pub trials: usize,
+    /// Per-trial simulation horizon, seconds.
+    pub horizon_s: u64,
+}
+
+impl Default for BulkConfig {
+    fn default() -> Self {
+        BulkConfig {
+            file_bytes: 12_500_000, // 12.5 MB ≈ 100 Mb
+            bandwidth_bps: 12e6,
+            owd_ms: 10,
+            queue_pkts: 500,
+            loss: 0.005,
+            trials: 20,
+            horizon_s: 120,
+        }
+    }
+}
+
+/// Result of a bulk-transfer experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BulkStats {
+    /// Completion time of each finished trial, seconds.
+    pub fct_secs: Vec<f64>,
+    /// Trials that did not finish within the horizon.
+    pub incomplete: usize,
+}
+
+impl BulkStats {
+    /// Mean FCT, seconds.
+    pub fn mean_fct(&self) -> f64 {
+        mean(&self.fct_secs)
+    }
+
+    /// FCT standard deviation, seconds (the paper's stability metric).
+    pub fn std_fct(&self) -> f64 {
+        std_dev(&self.fct_secs)
+    }
+}
+
+/// Runs the bulk-transfer experiment with a fresh controller per trial.
+pub fn run_bulk(
+    cfg: &BulkConfig,
+    mut make_cc: impl FnMut() -> Box<dyn CongestionControl>,
+) -> BulkStats {
+    let mut fct_secs = Vec::with_capacity(cfg.trials);
+    let mut incomplete = 0usize;
+    for trial in 0..cfg.trials {
+        let mut sc = Scenario::single(
+            cfg.bandwidth_bps,
+            cfg.owd_ms,
+            cfg.queue_pkts,
+            cfg.loss,
+            cfg.horizon_s,
+        );
+        sc.flows[0].bytes_to_send = Some(cfg.file_bytes);
+        // Learning agents expect the monitor-interval convention they
+        // were trained with (2 × base RTT, clamped).
+        sc.flows[0].mi = mocc_netsim::MiMode::Fixed(mocc_netsim::SimDuration(
+            (4 * cfg.owd_ms * 1_000_000).clamp(10_000_000, 200_000_000),
+        ));
+        sc.seed = 1000 + trial as u64;
+        let res = Simulator::new(sc, vec![make_cc()]).run();
+        match res.flows[0].fct {
+            Some(d) => fct_secs.push(d.as_secs_f64()),
+            None => incomplete += 1,
+        }
+    }
+    BulkStats {
+        fct_secs,
+        incomplete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocc_cc::{Bbr, Cubic};
+
+    fn small() -> BulkConfig {
+        BulkConfig {
+            file_bytes: 2_000_000,
+            trials: 5,
+            horizon_s: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bulk_completes_and_fct_reasonable() {
+        let stats = run_bulk(&small(), || Box::new(Bbr::new()));
+        assert_eq!(stats.incomplete, 0);
+        assert_eq!(stats.fct_secs.len(), 5);
+        // 16 Mb at 12 Mbps ≥ 1.33 s; with loss and startup < 30 s.
+        for &fct in &stats.fct_secs {
+            assert!(fct > 1.0 && fct < 30.0, "fct {fct}");
+        }
+    }
+
+    #[test]
+    fn fct_statistics() {
+        let stats = BulkStats {
+            fct_secs: vec![8.0, 9.0, 10.0],
+            incomplete: 0,
+        };
+        assert!((stats.mean_fct() - 9.0).abs() < 1e-9);
+        assert!(stats.std_fct() > 0.0);
+    }
+
+    #[test]
+    fn loss_free_is_faster_than_lossy() {
+        let clean = BulkConfig {
+            loss: 0.0,
+            ..small()
+        };
+        let lossy = BulkConfig {
+            loss: 0.02,
+            ..small()
+        };
+        let a = run_bulk(&clean, || Box::new(Cubic::new()));
+        let b = run_bulk(&lossy, || Box::new(Cubic::new()));
+        assert!(
+            a.mean_fct() < b.mean_fct(),
+            "clean {} vs lossy {}",
+            a.mean_fct(),
+            b.mean_fct()
+        );
+    }
+}

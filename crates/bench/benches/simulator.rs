@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the simulation substrate itself: events per
+//! second for single- and multi-flow scenarios, and one PPO training
+//! iteration (the unit of every training-time figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mocc_cc::Cubic;
+use mocc_core::{MoccAgent, MoccConfig, Preference};
+use mocc_netsim::cc::FixedRate;
+use mocc_netsim::{Scenario, ScenarioRange, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("sim_10s_fixed_rate_10mbps", |b| {
+        b.iter(|| {
+            let sc = Scenario::single(10e6, 20, 500, 0.0, 10);
+            let res = Simulator::new(sc, vec![Box::new(FixedRate::new(8e6))]).run();
+            black_box(res.flows[0].total_acked)
+        })
+    });
+
+    c.bench_function("sim_10s_cubic_3flows", |b| {
+        b.iter(|| {
+            let sc = Scenario::dumbbell(12e6, 10, 100, 3, 2.0, 10);
+            let ccs: Vec<Box<dyn mocc_netsim::CongestionControl>> = (0..3)
+                .map(|_| Box::new(Cubic::new()) as Box<dyn mocc_netsim::CongestionControl>)
+                .collect();
+            let res = Simulator::new(sc, ccs).run();
+            black_box(res.flows.len())
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let cfg = MoccConfig {
+        rollout_steps: 100,
+        episode_mis: 100,
+        ..MoccConfig::default()
+    };
+    c.bench_function("ppo_training_iteration_100steps", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = MoccAgent::new(cfg, &mut rng);
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = mocc_core::train_iteration(
+                &mut agent,
+                Preference::throughput(),
+                ScenarioRange::training(),
+                i,
+                &mut rng,
+            );
+            i += 1;
+            black_box(r)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator, bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Runs every figure binary in sequence, mirroring the full §6
+//! evaluation. Equivalent to invoking `fig1` … `fig19` by hand; models
+//! are trained once and cached, so the first figure pays the training
+//! cost and the rest reuse it.
+
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig1", "fig5", "fig6", "fig7", "fig8_10", "fig11_15", "fig16", "fig17", "fig18", "fig19",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for fig in FIGURES {
+        println!("\n################ {fig} ################");
+        let status = Command::new(exe_dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        if !status.success() {
+            eprintln!("{fig} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall figures regenerated; see EXPERIMENTS.md for the paper-vs-measured record");
+}

@@ -1,0 +1,121 @@
+//! Figure 1 — motivation experiments.
+//!
+//! (a) Learning-based CC tracks a varying 20–30 Mbps link better than
+//!     hand-crafted CUBIC/Vegas (Orca setup: 20 ms OWD, 0.02 % loss).
+//! (b) Each scheme occupies one point of the throughput/latency plane;
+//!     MOCC spans the frontier by changing its weight vector.
+//! (c) Re-training Aurora from scratch for a new objective takes a long
+//!     time to converge (the motivation for MOCC's transfer learning).
+
+use mocc_bench::{header, row, with_agent_mi, Scheme};
+use mocc_core::{convergence_iter, AuroraAgent, MoccConfig, Preference};
+use mocc_netsim::{BandwidthTrace, Scenario, ScenarioRange, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn varying_link_scenario(dur_s: u64) -> Scenario {
+    let mut sc = Scenario::single(30e6, 20, 800, 0.0002, dur_s);
+    sc.link.trace = BandwidthTrace::square_wave(20e6, 30e6, 10.0, dur_s as f64);
+    sc
+}
+
+fn main() {
+    println!("== Figure 1(a): throughput on a varying 20-30 Mbps link ==");
+    println!("(per-10s mean delivered Mbps; link alternates 20/30 Mbps)");
+    let schemes = vec![
+        Scheme::Baseline("cubic"),
+        Scheme::Baseline("vegas"),
+        Scheme::Aurora("thr", Preference::throughput()),
+        Scheme::Baseline("orca"),
+        Scheme::Mocc(Preference::throughput()),
+    ];
+    let buckets = 5usize;
+    header(
+        "scheme",
+        &(0..buckets)
+            .map(|b| format!("{}-{}s", b * 10, (b + 1) * 10))
+            .collect::<Vec<_>>(),
+        10,
+    );
+    let mut fig_a: Vec<(String, f64)> = Vec::new();
+    for s in &schemes {
+        let sc = with_agent_mi(varying_link_scenario(50));
+        let initial = 6e6;
+        let res = Simulator::new(sc, vec![s.make(initial)]).run();
+        let f = &res.flows[0];
+        let per_bucket: Vec<f64> = (0..buckets)
+            .map(|b| {
+                let lo = b * 10;
+                let hi = ((b + 1) * 10).min(f.per_sec_mbits.len());
+                if lo >= hi {
+                    return 0.0;
+                }
+                f.per_sec_mbits[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect();
+        row(&s.label(), &per_bucket, 10, 2);
+        fig_a.push((s.label(), f.throughput_bps / 1e6));
+    }
+
+    println!("\n== Figure 1(b): throughput-latency plane (60 s runs, 5 seeds) ==");
+    header("scheme", &["thr Mbps".into(), "rtt ms".into()], 12);
+    let plane_schemes = vec![
+        Scheme::Baseline("cubic"),
+        Scheme::Baseline("vegas"),
+        Scheme::Baseline("bbr"),
+        Scheme::Baseline("copa"),
+        Scheme::Baseline("pcc-allegro"),
+        Scheme::Baseline("pcc-vivace"),
+        Scheme::Aurora("thr", Preference::throughput()),
+        Scheme::Aurora("lat", Preference::latency()),
+        Scheme::Baseline("orca"),
+        Scheme::Mocc(Preference::throughput()),
+        Scheme::Mocc(Preference::balanced()),
+        Scheme::Mocc(Preference::latency()),
+    ];
+    for s in &plane_schemes {
+        let (mut thr, mut rtt) = (0.0, 0.0);
+        let seeds = 5u64;
+        for seed in 0..seeds {
+            let mut sc = varying_link_scenario(60);
+            sc.seed = 100 + seed;
+            let sc = with_agent_mi(sc);
+            let res = Simulator::new(sc, vec![s.make(6e6)]).run();
+            thr += res.flows[0].throughput_bps / 1e6 / seeds as f64;
+            rtt += res.flows[0].mean_rtt_ms / seeds as f64;
+        }
+        row(&s.label(), &[thr, rtt], 12, 2);
+    }
+
+    println!("\n== Figure 1(c): Aurora re-training from scratch ==");
+    let iters = if mocc_bench::full_scale() { 600 } else { 250 };
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut aurora = AuroraAgent::new(MoccConfig::default(), Preference::latency(), &mut rng);
+    let t0 = std::time::Instant::now();
+    let curve = aurora.train(ScenarioRange::training(), iters, 5);
+    let smooth: Vec<f32> = curve
+        .windows(10)
+        .map(|w| w.iter().sum::<f32>() / w.len() as f32)
+        .collect();
+    let conv = convergence_iter(&smooth, 0.99);
+    println!(
+        "training iterations: {iters}, wall: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "convergence (99% of max gain) at iteration: {:?} (paper: Aurora takes ~1.2 h wall-clock at full scale)",
+        conv
+    );
+    for (i, r) in curve.iter().enumerate().step_by(iters / 10) {
+        println!("  iter {i:>4}: reward {r:.3}");
+    }
+
+    let best_varying = fig_a
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!(
+        "\nsummary: best mean throughput on varying link = {} ({:.2} Mbps)",
+        best_varying.0, best_varying.1
+    );
+}

@@ -1,0 +1,232 @@
+//! Figures 11–15 — fairness and friendliness (§6.4).
+//!
+//! Fig. 11: three same-scheme flows staggered on a 12 Mbps dumbbell —
+//!          per-epoch throughput shares.
+//! Fig. 12: per-second Jain-index CDF per scheme (plus MOCC variants).
+//! Fig. 13: pairwise competitions of MOCC variants (larger w_thr wins
+//!          more bandwidth) and CUBIC vs Vegas for contrast.
+//! Fig. 14: MOCC-vs-MOCC throughput ratio across RTTs for 6 weights.
+//! Fig. 15: friendliness ratio (scheme / CUBIC) across RTTs.
+
+use mocc_bench::{header, row, with_agent_mi, Scheme};
+use mocc_core::Preference;
+use mocc_netsim::metrics::{per_second_jain, percentile};
+use mocc_netsim::{Scenario, Simulator};
+
+fn run_flows(schemes: &[Scheme], sc: Scenario) -> Vec<mocc_netsim::FlowResult> {
+    let sc = with_agent_mi(sc);
+    let initial = 0.2 * sc.link.trace.max_rate();
+    let ccs = schemes.iter().map(|s| s.make(initial)).collect();
+    Simulator::new(sc, ccs).run().flows
+}
+
+fn main() {
+    let full = mocc_bench::full_scale();
+    let _ = mocc_bench::trained_mocc();
+    let stagger = if full { 100.0 } else { 40.0 };
+    let dur: u64 = if full { 400 } else { 160 };
+
+    let fairness_schemes: Vec<(String, Scheme)> = vec![
+        ("mocc".into(), Scheme::Mocc(Preference::throughput())),
+        ("cubic".into(), Scheme::Baseline("cubic")),
+        ("vegas".into(), Scheme::Baseline("vegas")),
+        ("bbr".into(), Scheme::Baseline("bbr")),
+        ("copa".into(), Scheme::Baseline("copa")),
+        ("pcc-vivace".into(), Scheme::Baseline("pcc-vivace")),
+        ("pcc-allegro".into(), Scheme::Baseline("pcc-allegro")),
+        (
+            "aurora".into(),
+            Scheme::Aurora("thr", Preference::throughput()),
+        ),
+        ("orca".into(), Scheme::Baseline("orca")),
+    ];
+
+    println!("== Figure 11: 3 staggered same-scheme flows on 12 Mbps/20 ms RTT/1xBDP ==");
+    println!("(mean Mbps of flows 1-3 during the final epoch, when all three share)");
+    header(
+        "scheme",
+        &[
+            "flow1".into(),
+            "flow2".into(),
+            "flow3".into(),
+            "jain".into(),
+        ],
+        9,
+    );
+    let mut jain_sets: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, scheme) in &fairness_schemes {
+        // 1×BDP buffer: 12 Mbps × 20 ms / 12000 bits = 20 pkts — use a
+        // small multiple to keep heuristics functional.
+        let sc = Scenario::dumbbell(12e6, 10, 40, 3, stagger, dur);
+        let flows = run_flows(&vec![scheme.clone(); 3], sc);
+        let last_epoch = (2.0 * stagger) as usize..dur as usize;
+        let means: Vec<f64> = flows
+            .iter()
+            .map(|f| {
+                let xs: Vec<f64> = last_epoch
+                    .clone()
+                    .filter_map(|s| f.per_sec_mbits.get(s).copied())
+                    .collect();
+                if xs.is_empty() {
+                    0.0
+                } else {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                }
+            })
+            .collect();
+        let jain = per_second_jain(&flows);
+        let jain_med = percentile(&jain, 50.0);
+        row(name, &[means[0], means[1], means[2], jain_med], 9, 2);
+        jain_sets.push((name.clone(), jain));
+    }
+
+    println!("\n== Figure 12: per-second Jain index CDF ==");
+    // Add the MOCC weight variants the paper includes.
+    for (tag, pref) in [
+        ("mocc-balance", Preference::balanced()),
+        ("mocc-latency", Preference::latency()),
+    ] {
+        let sc = Scenario::dumbbell(12e6, 10, 40, 3, stagger, dur);
+        let flows = run_flows(&vec![Scheme::Mocc(pref); 3], sc);
+        jain_sets.push((tag.into(), per_second_jain(&flows)));
+    }
+    header(
+        "scheme",
+        &[
+            "p10".into(),
+            "p25".into(),
+            "p50".into(),
+            "p75".into(),
+            "p90".into(),
+        ],
+        8,
+    );
+    for (name, jain) in &jain_sets {
+        row(
+            name,
+            &[
+                percentile(jain, 10.0),
+                percentile(jain, 25.0),
+                percentile(jain, 50.0),
+                percentile(jain, 75.0),
+                percentile(jain, 90.0),
+            ],
+            8,
+            3,
+        );
+    }
+
+    println!("\n== Figure 13: pairwise MOCC-variant competitions (20 Mbps/20 ms) ==");
+    let pairs: Vec<(&str, Scheme, &str, Scheme)> = vec![
+        (
+            "mocc-thr",
+            Scheme::Mocc(Preference::throughput()),
+            "mocc-balance",
+            Scheme::Mocc(Preference::balanced()),
+        ),
+        (
+            "mocc-thr",
+            Scheme::Mocc(Preference::throughput()),
+            "mocc-latency",
+            Scheme::Mocc(Preference::latency()),
+        ),
+        (
+            "mocc-latency",
+            Scheme::Mocc(Preference::latency()),
+            "mocc-balance",
+            Scheme::Mocc(Preference::balanced()),
+        ),
+        (
+            "cubic",
+            Scheme::Baseline("cubic"),
+            "vegas",
+            Scheme::Baseline("vegas"),
+        ),
+    ];
+    header(
+        "pair",
+        &["A Mbps".into(), "B Mbps".into(), "A/B".into()],
+        10,
+    );
+    for (na, a, nb, b) in pairs {
+        let sc = Scenario::dumbbell(20e6, 10, 66, 2, 0.0, if full { 60 } else { 30 });
+        let flows = run_flows(&[a, b], sc);
+        let (ta, tb) = (flows[0].throughput_bps / 1e6, flows[1].throughput_bps / 1e6);
+        row(
+            &format!("{na} vs {nb}"),
+            &[ta, tb, ta / tb.max(1e-9)],
+            10,
+            2,
+        );
+    }
+    println!("(paper: larger w_thr is more aggressive; no variant starves the other)");
+
+    println!("\n== Figure 14: MOCC-vs-MOCC throughput ratio across RTT (20 Mbps) ==");
+    let weights = [
+        ("w1<.8,.1,.1>", Preference::new(0.8, 0.1, 0.1)),
+        ("w2<.6,.3,.1>", Preference::new(0.6, 0.3, 0.1)),
+        ("w3<.5,.3,.2>", Preference::new(0.5, 0.3, 0.2)),
+        ("w4<.2,.4,.4>", Preference::new(0.2, 0.4, 0.4)),
+        ("w5<.1,.8,.1>", Preference::new(0.1, 0.8, 0.1)),
+        ("w6<.1,.1,.8>", Preference::new(0.1, 0.1, 0.8)),
+    ];
+    let rtts = [10u64, 30, 50, 70, 90];
+    header(
+        "weights (vs w1)",
+        &rtts.iter().map(|r| format!("{r}ms")).collect::<Vec<_>>(),
+        8,
+    );
+    let mut ratios: Vec<f64> = Vec::new();
+    for (name, w) in &weights[1..] {
+        let vals: Vec<f64> = rtts
+            .iter()
+            .map(|&rtt| {
+                let sc = Scenario::dumbbell(20e6, rtt / 2, 66, 2, 0.0, if full { 60 } else { 30 });
+                let flows = run_flows(&[Scheme::Mocc(weights[0].1), Scheme::Mocc(*w)], sc);
+                let r = flows[1].throughput_bps / flows[0].throughput_bps.max(1.0);
+                ratios.push(r);
+                r
+            })
+            .collect();
+        row(name, &vals, 8, 2);
+    }
+    let (lo, hi) = (
+        ratios.iter().cloned().fold(f64::MAX, f64::min),
+        ratios.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    println!("ratio range: {lo:.2}-{hi:.2} (paper: 0.43-2.04 — no starvation)");
+
+    println!("\n== Figure 15: friendliness ratio vs one CUBIC flow across RTT ==");
+    let rtts15 = [20u64, 40, 60, 80, 100, 120];
+    let friend_schemes: Vec<(String, Scheme)> = vec![
+        ("mocc-thr".into(), Scheme::Mocc(Preference::throughput())),
+        ("mocc-balance".into(), Scheme::Mocc(Preference::balanced())),
+        ("mocc-latency".into(), Scheme::Mocc(Preference::latency())),
+        ("cubic".into(), Scheme::Baseline("cubic")),
+        ("vegas".into(), Scheme::Baseline("vegas")),
+        ("bbr".into(), Scheme::Baseline("bbr")),
+        ("copa".into(), Scheme::Baseline("copa")),
+        ("pcc-vivace".into(), Scheme::Baseline("pcc-vivace")),
+        (
+            "aurora".into(),
+            Scheme::Aurora("thr", Preference::throughput()),
+        ),
+    ];
+    header(
+        "scheme / cubic",
+        &rtts15.iter().map(|r| format!("{r}ms")).collect::<Vec<_>>(),
+        8,
+    );
+    for (name, scheme) in &friend_schemes {
+        let vals: Vec<f64> = rtts15
+            .iter()
+            .map(|&rtt| {
+                let sc = Scenario::dumbbell(20e6, rtt / 2, 66, 2, 0.0, if full { 60 } else { 30 });
+                let flows = run_flows(&[scheme.clone(), Scheme::Baseline("cubic")], sc);
+                flows[0].throughput_bps / flows[1].throughput_bps.max(1.0)
+            })
+            .collect();
+        row(name, &vals, 8, 2);
+    }
+    println!("(paper: MOCC-thr more aggressive, MOCC-balance/latency friendly, all comparable to other schemes)");
+}

@@ -1,0 +1,170 @@
+//! Figure 6 — the 100-objective experiment.
+//!
+//! Draws N uniformly random objectives and M network conditions,
+//! scores every scheme's behaviour with the Eq. 2 reward under each
+//! objective, and prints the reward CDF per scheme. MOCC (offline model
+//! only, no online adaptation) should dominate; "enhanced Aurora" (a
+//! bank of fixed-objective models with nearest-preference dispatch)
+//! comes second; single-model Aurora and the heuristics trail.
+
+use mocc_bench::{header, mean_reward, row, with_agent_mi, Scheme};
+use mocc_core::{MoccCc, Preference};
+use mocc_netsim::metrics::percentile;
+use mocc_netsim::{Scenario, ScenarioRange, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let full = mocc_bench::full_scale();
+    let n_objectives = if full { 100 } else { 40 };
+    let n_conditions = if full { 10 } else { 5 };
+    let dur: u64 = if full { 30 } else { 20 };
+    let bank_size = if full { 10 } else { 6 };
+
+    let mocc = mocc_bench::trained_mocc();
+    let bank = mocc_bench::aurora_bank(bank_size);
+    let vanilla = mocc_bench::trained_aurora("thr", Preference::throughput());
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    let objectives: Vec<Preference> = (0..n_objectives)
+        .map(|_| Preference::random(&mut rng))
+        .collect();
+    // Conditions drawn from the *testing* ranges of Table 3.
+    let range = ScenarioRange::testing();
+    let conditions: Vec<Scenario> = (0..n_conditions)
+        .map(|_| range.sample(&mut rng, dur))
+        .collect();
+
+    println!(
+        "== Figure 6: reward CDF over {n_objectives} objectives x {n_conditions} conditions = {} cases ==",
+        n_objectives * n_conditions
+    );
+
+    // Heuristic + single-model schemes: behaviour does not depend on
+    // the objective, so run once per condition and score under every
+    // objective afterwards.
+    let fixed_schemes = vec![
+        Scheme::Baseline("cubic"),
+        Scheme::Baseline("vegas"),
+        Scheme::Baseline("bbr"),
+        Scheme::Baseline("copa"),
+        Scheme::Baseline("pcc-allegro"),
+        Scheme::Baseline("pcc-vivace"),
+    ];
+
+    let mut results: Vec<(String, Vec<f32>)> = Vec::new();
+
+    for scheme in &fixed_schemes {
+        let mut rewards = Vec::new();
+        for sc in &conditions {
+            let sc2 = with_agent_mi(sc.clone());
+            let cap = sc2.link.trace.max_rate();
+            let base = sc2.link.base_rtt().as_millis_f64();
+            let res = Simulator::new(sc2, vec![scheme.make(0.3 * cap)]).run();
+            for w in &objectives {
+                rewards.push(mean_reward(&res.flows[0].mi_records, cap, base, w));
+            }
+        }
+        results.push((scheme.label(), rewards));
+    }
+
+    // Vanilla Aurora: one model regardless of objective.
+    {
+        let mut rewards = Vec::new();
+        for sc in &conditions {
+            let sc2 = with_agent_mi(sc.clone());
+            let cap = sc2.link.trace.max_rate();
+            let base = sc2.link.base_rtt().as_millis_f64();
+            let cc = Box::new(mocc_core::AuroraCc::new(&vanilla, 0.3 * cap));
+            let res = Simulator::new(sc2, vec![cc]).run();
+            for w in &objectives {
+                rewards.push(mean_reward(&res.flows[0].mi_records, cap, base, w));
+            }
+        }
+        results.push(("aurora (1 model)".into(), rewards));
+    }
+
+    // Enhanced Aurora: dispatch to the nearest fixed-objective model —
+    // the model (and hence the run) depends on the objective's nearest
+    // bank member, so run once per (condition, bank member) pair.
+    {
+        let mut rewards = Vec::new();
+        for sc in &conditions {
+            let sc2 = with_agent_mi(sc.clone());
+            let cap = sc2.link.trace.max_rate();
+            let base = sc2.link.base_rtt().as_millis_f64();
+            // Cache runs by bank-model index.
+            let mut runs: Vec<Option<Vec<mocc_netsim::MiRecord>>> = vec![None; bank.models.len()];
+            for w in &objectives {
+                let idx = bank
+                    .models
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.pref.l1(w).partial_cmp(&b.pref.l1(w)).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                if runs[idx].is_none() {
+                    let cc = Box::new(mocc_core::AuroraCc::new(&bank.models[idx], 0.3 * cap));
+                    let res = Simulator::new(with_agent_mi(sc.clone()), vec![cc]).run();
+                    runs[idx] = Some(res.flows[0].mi_records.clone());
+                }
+                rewards.push(mean_reward(runs[idx].as_ref().unwrap(), cap, base, w));
+            }
+        }
+        results.push((format!("enhanced-aurora({bank_size})"), rewards));
+    }
+
+    // MOCC: the registered preference changes behaviour, so one run per
+    // (objective, condition).
+    {
+        let mut rewards = Vec::new();
+        for sc in &conditions {
+            let cap = sc.link.trace.max_rate();
+            let base = sc.link.base_rtt().as_millis_f64();
+            for w in &objectives {
+                let cc = Box::new(MoccCc::new(&mocc, *w, 0.3 * cap));
+                let res = Simulator::new(with_agent_mi(sc.clone()), vec![cc]).run();
+                rewards.push(mean_reward(&res.flows[0].mi_records, cap, base, w));
+            }
+        }
+        results.push(("mocc (offline only)".into(), rewards));
+    }
+
+    // Print the CDF summary.
+    println!();
+    header(
+        "scheme",
+        &[
+            "p10".into(),
+            "p25".into(),
+            "p50".into(),
+            "p75".into(),
+            "p90".into(),
+            "mean".into(),
+        ],
+        8,
+    );
+    results.sort_by(|a, b| {
+        let ma = a.1.iter().sum::<f32>() / a.1.len() as f32;
+        let mb = b.1.iter().sum::<f32>() / b.1.len() as f32;
+        ma.partial_cmp(&mb).unwrap()
+    });
+    for (label, rewards) in &results {
+        let xs: Vec<f64> = rewards.iter().map(|&r| r as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        row(
+            label,
+            &[
+                percentile(&xs, 10.0),
+                percentile(&xs, 25.0),
+                percentile(&xs, 50.0),
+                percentile(&xs, 75.0),
+                percentile(&xs, 90.0),
+                mean,
+            ],
+            8,
+            3,
+        );
+    }
+    let _ = rng.gen::<u64>();
+}

@@ -1,0 +1,111 @@
+//! Deployment adapter: a trained MOCC policy as a [`CongestionControl`].
+//!
+//! This is how MOCC runs *inside* multi-flow simulations (fairness,
+//! friendliness, application experiments): the policy network performs
+//! inference at each monitor interval and applies the Eq. 1 rate
+//! update, exactly like the user-space/kernel-space deployments in §5.
+
+use crate::agent::{stats_features, MoccAgent};
+use crate::config::MoccConfig;
+use crate::preference::Preference;
+use crate::prefnet::PrefNet;
+use mocc_netsim::cc::{CongestionControl, MonitorStats, RateControl, SenderView};
+use mocc_rl::GaussianPolicy;
+use std::collections::VecDeque;
+
+/// A deployed MOCC flow with a registered preference.
+pub struct MoccCc {
+    policy: GaussianPolicy<PrefNet>,
+    cfg: MoccConfig,
+    pref: Preference,
+    history: VecDeque<[f32; 3]>,
+    initial_rate_bps: f64,
+}
+
+impl MoccCc {
+    /// Wraps a trained agent's policy for the given application
+    /// preference (the `Register(w)` step of §5).
+    pub fn new(agent: &MoccAgent, pref: Preference, initial_rate_bps: f64) -> Self {
+        MoccCc {
+            policy: agent.ppo.policy.clone(),
+            cfg: agent.cfg,
+            pref,
+            history: VecDeque::new(),
+            initial_rate_bps,
+        }
+    }
+
+    /// The registered preference.
+    pub fn pref(&self) -> Preference {
+        self.pref
+    }
+}
+
+impl CongestionControl for MoccCc {
+    fn name(&self) -> &'static str {
+        "mocc"
+    }
+
+    fn init(&mut self, _view: &SenderView, ctl: &mut RateControl) {
+        self.history = VecDeque::from(vec![[0.0; 3]; self.cfg.history]);
+        ctl.pacing_rate_bps = self.initial_rate_bps;
+        ctl.cwnd_pkts = f64::INFINITY;
+    }
+
+    fn on_monitor(&mut self, _view: &SenderView, mi: &MonitorStats, ctl: &mut RateControl) {
+        self.history.pop_front();
+        self.history.push_back(stats_features(mi));
+        let mut obs = Vec::with_capacity(3 + 3 * self.cfg.history);
+        obs.extend_from_slice(&self.pref.as_array());
+        for h in &self.history {
+            obs.extend_from_slice(h);
+        }
+        let a = (self.policy.mean_action(&obs) as f64)
+            .clamp(-self.cfg.action_clip, self.cfg.action_clip);
+        let alpha = self.cfg.action_scale;
+        let rate = ctl.pacing_rate_bps;
+        ctl.pacing_rate_bps = if a >= 0.0 {
+            rate * (1.0 + alpha * a)
+        } else {
+            rate / (1.0 - alpha * a)
+        }
+        .clamp(1e4, 1e9);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocc_netsim::{Scenario, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mocc_cc_paces_in_simulator() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+        let sc = Scenario::single(5e6, 20, 500, 0.0, 10);
+        let cc = MoccCc::new(&agent, Preference::throughput(), 1e6);
+        assert_eq!(cc.pref(), Preference::throughput());
+        let res = Simulator::new(sc, vec![Box::new(cc)]).run();
+        assert!(res.flows[0].total_sent > 0);
+        assert!(res.flows[0].total_acked > 0);
+    }
+
+    #[test]
+    fn two_mocc_flows_coexist() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+        let sc = Scenario::dumbbell(10e6, 10, 200, 2, 0.0, 10);
+        let res = Simulator::new(
+            sc,
+            vec![
+                Box::new(MoccCc::new(&agent, Preference::throughput(), 1e6)),
+                Box::new(MoccCc::new(&agent, Preference::latency(), 1e6)),
+            ],
+        )
+        .run();
+        assert!(res.flows[0].total_acked > 0);
+        assert!(res.flows[1].total_acked > 0);
+    }
+}

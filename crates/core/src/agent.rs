@@ -1,0 +1,127 @@
+//! The MOCC agent: preference-conditioned actor-critic.
+
+use crate::config::MoccConfig;
+use crate::preference::Preference;
+use crate::prefnet::PrefNet;
+use mocc_netsim::MonitorStats;
+use mocc_rl::{GaussianPolicy, Ppo, PpoConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Converts one monitor interval into the three state features
+/// `(l_t − 1, p_t − 1, 10·q_t)`, clamped for numerical stability. Used
+/// identically by the training environment, the deployment adapter, and
+/// the library facade so the policy always sees the same distribution.
+pub fn stats_features(stats: &MonitorStats) -> [f32; 3] {
+    [
+        (stats.send_ratio as f32 - 1.0).clamp(0.0, 5.0),
+        (stats.latency_ratio as f32 - 1.0).clamp(0.0, 5.0),
+        (stats.latency_gradient as f32 * 10.0).clamp(-1.0, 1.0),
+    ]
+}
+
+/// The complete MOCC learner: a PPO actor-critic whose actor and critic
+/// both carry the preference sub-network (Fig. 3).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct MoccAgent {
+    /// Hyperparameters (Table 2).
+    pub cfg: MoccConfig,
+    /// The PPO learner over [`PrefNet`] networks.
+    pub ppo: Ppo<PrefNet>,
+}
+
+impl MoccAgent {
+    /// Builds an untrained agent with the paper's architecture.
+    pub fn new<R: Rng>(cfg: MoccConfig, rng: &mut R) -> Self {
+        let hist_dim = 3 * cfg.history;
+        let actor = PrefNet::new(3, cfg.pn_features, hist_dim, &cfg.hidden, 1, rng);
+        let critic = PrefNet::new(3, cfg.pn_features, hist_dim, &cfg.hidden, 1, rng);
+        let ppo_cfg = PpoConfig {
+            gamma: cfg.gamma,
+            lr: cfg.lr,
+            value_lr: cfg.lr,
+            entropy_coef: cfg.entropy_start,
+            ..Default::default()
+        };
+        MoccAgent {
+            cfg,
+            ppo: Ppo::from_nets(GaussianPolicy::from_net(actor), critic, ppo_cfg),
+        }
+    }
+
+    /// Deterministic action for `pref` given a flattened history
+    /// observation (η × 3 features, oldest first).
+    pub fn act(&self, pref: &Preference, history: &[f32]) -> f32 {
+        debug_assert_eq!(history.len(), 3 * self.cfg.history);
+        let mut obs = Vec::with_capacity(3 + history.len());
+        obs.extend_from_slice(&pref.as_array());
+        obs.extend_from_slice(history);
+        self.ppo.policy.mean_action(&obs)
+    }
+
+    /// Serializes the agent to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("agent serialization")
+    }
+
+    /// Restores an agent from [`MoccAgent::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Saves the agent to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads an agent from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn act_depends_on_preference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+        let hist = vec![0.1f32; 30];
+        let a = agent.act(&Preference::throughput(), &hist);
+        let b = agent.act(&Preference::latency(), &hist);
+        assert!(a.is_finite() && b.is_finite());
+        assert_ne!(a, b, "preference must steer the policy");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_policy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+        let back = MoccAgent::from_json(&agent.to_json()).unwrap();
+        let hist = vec![0.2f32; 30];
+        assert_eq!(
+            agent.act(&Preference::balanced(), &hist),
+            back.act(&Preference::balanced(), &hist)
+        );
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+        let dir = std::env::temp_dir().join("mocc-agent-test.json");
+        agent.save(&dir).unwrap();
+        let back = MoccAgent::load(&dir).unwrap();
+        let hist = vec![0.0f32; 30];
+        assert_eq!(
+            agent.act(&Preference::throughput(), &hist),
+            back.act(&Preference::throughput(), &hist)
+        );
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! The portable MOCC library facade (§5).
+//!
+//! The paper packages MOCC behind three functions so any datapath (UDT
+//! user-space, CCP kernel-space, or this repository's simulator) can
+//! embed it:
+//!
+//! - `Register(w)` — declare the application's preference,
+//! - `ReportStatus(s_t)` — feed the latest network statistics,
+//! - `GetSendingRate()` — read back the rate for the next interval.
+
+use crate::agent::MoccAgent;
+use crate::config::MoccConfig;
+use crate::preference::Preference;
+use crate::prefnet::PrefNet;
+use mocc_rl::GaussianPolicy;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One interval's network status, as reported by the datapath.
+/// Mirrors the state statistics of §4.1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetStatus {
+    /// Send ratio `l_t`: packets sent over packets acknowledged.
+    pub send_ratio: f64,
+    /// Latency ratio `p_t`: interval mean RTT over historical min RTT.
+    pub latency_ratio: f64,
+    /// Latency gradient `q_t`: d(RTT)/dt.
+    pub latency_gradient: f64,
+}
+
+/// Errors from the library facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoccLibError {
+    /// `report_status`/`get_sending_rate` before `register`.
+    NotRegistered,
+}
+
+impl std::fmt::Display for MoccLibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MoccLibError::NotRegistered => {
+                write!(f, "no application registered; call register(w) first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoccLibError {}
+
+/// The plug-and-play MOCC library.
+pub struct MoccLib {
+    policy: GaussianPolicy<PrefNet>,
+    cfg: MoccConfig,
+    pref: Option<Preference>,
+    history: VecDeque<[f32; 3]>,
+    rate_bps: f64,
+}
+
+impl MoccLib {
+    /// Builds the library around a trained agent, starting at
+    /// `initial_rate_bps`.
+    pub fn new(agent: &MoccAgent, initial_rate_bps: f64) -> Self {
+        MoccLib {
+            policy: agent.ppo.policy.clone(),
+            cfg: agent.cfg,
+            pref: None,
+            history: VecDeque::from(vec![[0.0; 3]; agent.cfg.history]),
+            rate_bps: initial_rate_bps,
+        }
+    }
+
+    /// `Register(w)`: declares the application's requirement.
+    pub fn register(&mut self, w: Preference) {
+        self.pref = Some(w);
+        self.history = VecDeque::from(vec![[0.0; 3]; self.cfg.history]);
+    }
+
+    /// `ReportStatus(s_t)`: feeds the latest interval statistics and
+    /// advances the rate decision.
+    pub fn report_status(&mut self, s: NetStatus) -> Result<(), MoccLibError> {
+        let pref = self.pref.ok_or(MoccLibError::NotRegistered)?;
+        self.history.pop_front();
+        self.history.push_back([
+            (s.send_ratio as f32 - 1.0).clamp(0.0, 5.0),
+            (s.latency_ratio as f32 - 1.0).clamp(0.0, 5.0),
+            (s.latency_gradient as f32 * 10.0).clamp(-1.0, 1.0),
+        ]);
+        let mut obs = Vec::with_capacity(3 + 3 * self.cfg.history);
+        obs.extend_from_slice(&pref.as_array());
+        for h in &self.history {
+            obs.extend_from_slice(h);
+        }
+        let a = (self.policy.mean_action(&obs) as f64)
+            .clamp(-self.cfg.action_clip, self.cfg.action_clip);
+        let alpha = self.cfg.action_scale;
+        self.rate_bps = if a >= 0.0 {
+            self.rate_bps * (1.0 + alpha * a)
+        } else {
+            self.rate_bps / (1.0 - alpha * a)
+        }
+        .clamp(1e4, 1e9);
+        Ok(())
+    }
+
+    /// `GetSendingRate()`: the rate (bits per second) for the next
+    /// interval.
+    pub fn get_sending_rate(&self) -> Result<f64, MoccLibError> {
+        if self.pref.is_none() {
+            return Err(MoccLibError::NotRegistered);
+        }
+        Ok(self.rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lib() -> MoccLib {
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+        MoccLib::new(&agent, 2e6)
+    }
+
+    fn status() -> NetStatus {
+        NetStatus {
+            send_ratio: 1.1,
+            latency_ratio: 1.2,
+            latency_gradient: 0.0,
+        }
+    }
+
+    #[test]
+    fn requires_registration() {
+        let mut l = lib();
+        assert_eq!(
+            l.report_status(status()).unwrap_err(),
+            MoccLibError::NotRegistered
+        );
+        assert!(l.get_sending_rate().is_err());
+    }
+
+    #[test]
+    fn register_report_get_roundtrip() {
+        let mut l = lib();
+        l.register(Preference::throughput());
+        assert_eq!(l.get_sending_rate().unwrap(), 2e6);
+        l.report_status(status()).unwrap();
+        let r = l.get_sending_rate().unwrap();
+        assert!(r > 0.0 && r.is_finite());
+        // Rate moved by at most the Eq. 1 bound (α × clip = 12.5 %).
+        assert!(r / 2e6 < 1.2 && r / 2e6 > 0.8, "rate {r}");
+    }
+
+    #[test]
+    fn reregistration_resets_history() {
+        let mut l = lib();
+        l.register(Preference::throughput());
+        for _ in 0..5 {
+            l.report_status(status()).unwrap();
+        }
+        l.register(Preference::latency());
+        // History cleared; next decision comes from fresh state.
+        l.report_status(status()).unwrap();
+        assert!(l.get_sending_rate().is_ok());
+    }
+}

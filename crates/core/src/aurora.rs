@@ -1,0 +1,248 @@
+//! Aurora (ICML'19) — the single-objective RL baseline.
+//!
+//! Aurora is the same PPO-over-monitor-intervals design as MOCC but
+//! with a *fixed* reward weighting and no preference in the state
+//! (Fig. 2a): one trained model per objective. "Enhanced Aurora"
+//! (Fig. 6) is a bank of such models dispatched by nearest preference.
+
+use crate::agent::stats_features;
+use crate::config::MoccConfig;
+use crate::env::MoccEnv;
+use crate::preference::Preference;
+use mocc_netsim::cc::{CongestionControl, MonitorStats, RateControl, SenderView};
+use mocc_nn::Mlp;
+use mocc_rl::{Env, GaussianPolicy, Ppo, PpoConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A single-objective Aurora agent.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct AuroraAgent {
+    /// Shared MOCC hyperparameters (η, α, rollout sizes).
+    pub cfg: MoccConfig,
+    /// The objective this model was trained for.
+    pub pref: Preference,
+    /// PPO learner over a plain MLP (no preference sub-network).
+    pub ppo: Ppo<Mlp>,
+}
+
+impl AuroraAgent {
+    /// Builds an untrained Aurora model for a fixed objective.
+    pub fn new<R: Rng>(cfg: MoccConfig, pref: Preference, rng: &mut R) -> Self {
+        let obs_dim = 3 * cfg.history;
+        let ppo_cfg = PpoConfig {
+            gamma: cfg.gamma,
+            lr: cfg.lr,
+            value_lr: cfg.lr,
+            entropy_coef: cfg.entropy_start,
+            ..Default::default()
+        };
+        AuroraAgent {
+            cfg,
+            pref,
+            ppo: Ppo::new(obs_dim, &cfg.hidden, ppo_cfg, rng),
+        }
+    }
+
+    /// Runs `iters` PPO iterations (training from scratch is exactly
+    /// what the paper's Figs. 1c and 7a measure), returning the mean
+    /// rollout reward per iteration.
+    pub fn train(
+        &mut self,
+        range: mocc_netsim::ScenarioRange,
+        iters: usize,
+        seed: u64,
+    ) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut curve = Vec::with_capacity(iters);
+        for i in 0..iters {
+            self.ppo.cfg.entropy_coef = self.cfg.entropy_at(i);
+            let ep_seed: u64 = rng.gen();
+            let mut env = MoccEnv::training(self.cfg, self.pref, range, ep_seed).without_pref_obs();
+            let stats = self
+                .ppo
+                .train_iteration(&mut env, self.cfg.rollout_steps, &mut rng);
+            curve.push(stats.mean_reward);
+        }
+        curve
+    }
+
+    /// Deterministic evaluation on a fixed scenario (mean Eq. 2 reward
+    /// under this model's own objective).
+    pub fn evaluate(&self, scenario: mocc_netsim::Scenario, episodes: usize) -> f32 {
+        self.evaluate_for(self.pref, scenario, episodes)
+    }
+
+    /// Deterministic evaluation scored under an arbitrary preference
+    /// (how well this fixed model serves someone else's objective).
+    pub fn evaluate_for(
+        &self,
+        pref: Preference,
+        scenario: mocc_netsim::Scenario,
+        episodes: usize,
+    ) -> f32 {
+        let mut env = MoccEnv::fixed(self.cfg, pref, scenario, 7).without_pref_obs();
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for _ in 0..episodes {
+            let mut obs = env.reset();
+            loop {
+                let a = self.ppo.policy.mean_action(&obs);
+                let (next, r, done) = env.step(a);
+                total += r;
+                count += 1;
+                obs = next;
+                if done {
+                    break;
+                }
+            }
+        }
+        total / count.max(1) as f32
+    }
+}
+
+/// "Enhanced Aurora": a bank of fixed-objective models with nearest-
+/// preference dispatch (the 10-model comparison of Fig. 6).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct AuroraBank {
+    /// The trained models.
+    pub models: Vec<AuroraAgent>,
+}
+
+impl AuroraBank {
+    /// Trains one model per preference.
+    pub fn train<R: Rng>(
+        cfg: MoccConfig,
+        prefs: &[Preference],
+        range: mocc_netsim::ScenarioRange,
+        iters_each: usize,
+        rng: &mut R,
+    ) -> Self {
+        let models = prefs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut m = AuroraAgent::new(cfg, p, rng);
+                let _ = m.train(range, iters_each, 100 + i as u64);
+                m
+            })
+            .collect();
+        AuroraBank { models }
+    }
+
+    /// The model whose training objective is nearest (L1) to `pref`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is empty.
+    pub fn best_for(&self, pref: &Preference) -> &AuroraAgent {
+        self.models
+            .iter()
+            .min_by(|a, b| {
+                a.pref
+                    .l1(pref)
+                    .partial_cmp(&b.pref.l1(pref))
+                    .expect("finite distances")
+            })
+            .expect("nonempty bank")
+    }
+}
+
+/// Deployment shim: runs a trained Aurora policy as a
+/// [`CongestionControl`] inside multi-flow simulations.
+pub struct AuroraCc {
+    policy: GaussianPolicy<Mlp>,
+    cfg: MoccConfig,
+    history: VecDeque<[f32; 3]>,
+    initial_rate_bps: f64,
+}
+
+impl AuroraCc {
+    /// Wraps a trained agent's policy for deployment.
+    pub fn new(agent: &AuroraAgent, initial_rate_bps: f64) -> Self {
+        AuroraCc {
+            policy: agent.ppo.policy.clone(),
+            cfg: agent.cfg,
+            history: VecDeque::new(),
+            initial_rate_bps,
+        }
+    }
+}
+
+impl CongestionControl for AuroraCc {
+    fn name(&self) -> &'static str {
+        "aurora"
+    }
+
+    fn init(&mut self, _view: &SenderView, ctl: &mut RateControl) {
+        self.history = VecDeque::from(vec![[0.0; 3]; self.cfg.history]);
+        ctl.pacing_rate_bps = self.initial_rate_bps;
+        ctl.cwnd_pkts = f64::INFINITY;
+    }
+
+    fn on_monitor(&mut self, _view: &SenderView, mi: &MonitorStats, ctl: &mut RateControl) {
+        self.history.pop_front();
+        self.history.push_back(stats_features(mi));
+        let obs: Vec<f32> = self.history.iter().flatten().copied().collect();
+        let a = (self.policy.mean_action(&obs) as f64)
+            .clamp(-self.cfg.action_clip, self.cfg.action_clip);
+        let alpha = self.cfg.action_scale;
+        let rate = ctl.pacing_rate_bps;
+        ctl.pacing_rate_bps = if a >= 0.0 {
+            rate * (1.0 + alpha * a)
+        } else {
+            rate / (1.0 - alpha * a)
+        }
+        .clamp(1e4, 1e9);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocc_netsim::{Scenario, ScenarioRange, Simulator};
+
+    fn small_cfg() -> MoccConfig {
+        MoccConfig {
+            rollout_steps: 60,
+            episode_mis: 60,
+            ..MoccConfig::fast()
+        }
+    }
+
+    #[test]
+    fn aurora_trains_and_curve_has_len() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut agent = AuroraAgent::new(small_cfg(), Preference::throughput(), &mut rng);
+        let curve = agent.train(ScenarioRange::training(), 3, 5);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn bank_dispatches_nearest() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = small_cfg();
+        let bank = AuroraBank {
+            models: vec![
+                AuroraAgent::new(cfg, Preference::throughput(), &mut rng),
+                AuroraAgent::new(cfg, Preference::latency(), &mut rng),
+            ],
+        };
+        let near_thr = Preference::new(0.7, 0.2, 0.1);
+        assert_eq!(bank.best_for(&near_thr).pref, Preference::throughput());
+        let near_lat = Preference::new(0.2, 0.7, 0.1);
+        assert_eq!(bank.best_for(&near_lat).pref, Preference::latency());
+    }
+
+    #[test]
+    fn aurora_cc_runs_in_simulator() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let agent = AuroraAgent::new(small_cfg(), Preference::throughput(), &mut rng);
+        let sc = Scenario::single(5e6, 20, 500, 0.0, 10);
+        let res = Simulator::new(sc, vec![Box::new(AuroraCc::new(&agent, 1e6))]).run();
+        assert!(res.flows[0].total_sent > 0, "untrained policy still paces");
+    }
+}

@@ -1,0 +1,231 @@
+//! Neighborhood-based objective sorting (Appendix B, Algorithm 1).
+//!
+//! Fast traversal (§4.2) trains landmark objectives in an order that
+//! always moves between *neighboring* preferences, so transfer from the
+//! previous objective is maximally effective. The order is produced by
+//! Dijkstra's algorithm on the simplex-lattice neighborhood graph,
+//! interleaving visits among the bootstrapped pivot objectives.
+
+use crate::preference::Preference;
+
+/// Two lattice preferences (step `1/k`) are neighbors when they differ
+/// in exactly two components by one step each (mass moves one step from
+/// one metric to another); e.g. at step 0.1, <0.2,0.4,0.4> ↔
+/// <0.2,0.5,0.3> and <0.2,0.4,0.4> ↔ <0.1,0.5,0.4>, but not
+/// <0.1,0.3,0.6> (two steps away).
+pub fn are_neighbors(a: &Preference, b: &Preference, k: usize) -> bool {
+    let step = 1.0 / k as f32;
+    let tol = step * 0.01;
+    let deltas = [a.thr - b.thr, a.lat - b.lat, a.loss - b.loss];
+    let mut nonzero = 0;
+    for d in deltas {
+        if d.abs() > tol {
+            if (d.abs() - step).abs() > tol {
+                return false; // A difference larger than one step.
+            }
+            nonzero += 1;
+        }
+    }
+    nonzero == 2
+}
+
+/// Builds the adjacency lists of the neighborhood graph over `points`.
+pub fn adjacency(points: &[Preference], k: usize) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if are_neighbors(&points[i], &points[j], k) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    adj
+}
+
+/// Algorithm 1: orders all landmark objectives for fast traversal.
+///
+/// For each bootstrapped pivot (index into `points`), Dijkstra
+/// distances over the unit-weight neighborhood graph are maintained;
+/// pivots take turns appending their nearest unvisited vertices
+/// (⌈|V|/|O|⌉ per turn) until every vertex is listed. Returns the
+/// visit order as indices into `points`.
+///
+/// # Panics
+///
+/// Panics if `pivots` is empty or contains an out-of-range index.
+pub fn sort_objectives(points: &[Preference], k: usize, pivots: &[usize]) -> Vec<usize> {
+    assert!(!pivots.is_empty(), "need at least one bootstrapped pivot");
+    let n = points.len();
+    for &p in pivots {
+        assert!(p < n, "pivot index out of range");
+    }
+    let adj = adjacency(points, k);
+    const INF: u32 = u32::MAX;
+    // d[i][v]: distance of v from pivot i, relaxed lazily as in Algorithm 1.
+    let mut d = vec![vec![INF; n]; pivots.len()];
+    for (i, &o) in pivots.iter().enumerate() {
+        d[i][o] = 0;
+        for &nb in &adj[o] {
+            d[i][nb] = 1;
+        }
+    }
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let quota = n.div_ceil(pivots.len());
+    while order.len() < n {
+        let before = order.len();
+        for (i, &o) in pivots.iter().enumerate() {
+            let mut visits = quota;
+            if !visited[o] {
+                visited[o] = true;
+                order.push(o);
+                visits -= 1;
+            }
+            while visits > 0 && order.len() < n {
+                // Extract the nearest unvisited vertex from pivot i.
+                let u = match (0..n)
+                    .filter(|&v| !visited[v] && d[i][v] < INF)
+                    .min_by_key(|&v| d[i][v])
+                {
+                    Some(u) => u,
+                    None => break, // This pivot's component is exhausted.
+                };
+                visited[u] = true;
+                order.push(u);
+                visits -= 1;
+                for &w in &adj[u] {
+                    if !visited[w] && d[i][u].saturating_add(1) < d[i][w] {
+                        d[i][w] = d[i][u] + 1;
+                    }
+                }
+            }
+        }
+        if order.len() == before {
+            // Disconnected leftovers (cannot happen on the simplex
+            // lattice, but keep the loop total): append them directly.
+            for v in 0..n {
+                if !visited[v] {
+                    visited[v] = true;
+                    order.push(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The paper's bootstrap objectives (<0.6,0.3,0.1>, <0.1,0.6,0.3>,
+/// <0.3,0.1,0.6>), mapped to their nearest landmarks in `points`.
+pub fn default_pivots(points: &[Preference]) -> Vec<usize> {
+    [
+        Preference::new(0.6, 0.3, 0.1),
+        Preference::new(0.1, 0.6, 0.3),
+        Preference::new(0.3, 0.1, 0.6),
+    ]
+    .iter()
+    .map(|target| {
+        points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.l1(target).partial_cmp(&b.l1(target)).unwrap())
+            .map(|(i, _)| i)
+            .expect("nonempty landmark set")
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::landmarks;
+
+    #[test]
+    fn neighbor_examples_from_appendix_b() {
+        // At step 0.1 (k = 10):
+        let a = Preference::new(0.2, 0.4, 0.4);
+        let b = Preference::new(0.2, 0.5, 0.3);
+        let c = Preference::new(0.1, 0.5, 0.4);
+        let d = Preference::new(0.1, 0.3, 0.6);
+        assert!(are_neighbors(&a, &b, 10));
+        assert!(are_neighbors(&a, &c, 10));
+        assert!(!are_neighbors(&a, &d, 10));
+        assert!(
+            !are_neighbors(&a, &a, 10),
+            "a vertex is not its own neighbor"
+        );
+    }
+
+    #[test]
+    fn lattice_graph_is_connected() {
+        let pts = landmarks(10);
+        let adj = adjacency(&pts, 10);
+        // BFS from vertex 0 reaches everything.
+        let mut seen = vec![false; pts.len()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = queue.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "neighborhood graph connected");
+    }
+
+    #[test]
+    fn sort_visits_every_objective_exactly_once() {
+        let pts = landmarks(10);
+        let pivots = default_pivots(&pts);
+        let order = sort_objectives(&pts, 10, &pivots);
+        assert_eq!(order.len(), pts.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pts.len(), "no duplicates, all visited");
+    }
+
+    #[test]
+    fn sort_starts_at_first_pivot() {
+        let pts = landmarks(10);
+        let pivots = default_pivots(&pts);
+        let order = sort_objectives(&pts, 10, &pivots);
+        assert_eq!(order[0], pivots[0]);
+    }
+
+    #[test]
+    fn consecutive_entries_stay_close() {
+        // Transfer learning wants consecutive objectives to be similar:
+        // the mean L1 gap along the path must be far below the mean gap
+        // of a random order (~0.6 for the simplex).
+        let pts = landmarks(10);
+        let pivots = default_pivots(&pts);
+        let order = sort_objectives(&pts, 10, &pivots);
+        let mut total = 0.0;
+        for w in order.windows(2) {
+            total += pts[w[0]].l1(&pts[w[1]]);
+        }
+        let mean_gap = total / (order.len() - 1) as f32;
+        assert!(mean_gap < 0.45, "mean L1 gap {mean_gap} too large");
+    }
+
+    #[test]
+    fn default_pivots_match_paper_targets() {
+        let pts = landmarks(10);
+        let pivots = default_pivots(&pts);
+        assert_eq!(pivots.len(), 3);
+        let p0 = &pts[pivots[0]];
+        assert!(p0.l1(&Preference::new(0.6, 0.3, 0.1)) < 1e-6);
+    }
+
+    #[test]
+    fn works_on_smallest_lattice() {
+        let pts = landmarks(4); // ω = 3
+        let pivots = default_pivots(&pts);
+        let order = sort_objectives(&pts, 4, &pivots);
+        assert_eq!(order.len(), 3);
+    }
+}

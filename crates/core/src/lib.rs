@@ -1,0 +1,58 @@
+//! # mocc-core — Multi-Objective Congestion Control
+//!
+//! A from-scratch Rust reproduction of MOCC (EuroSys 2022): the first
+//! multi-objective reinforcement-learning congestion-control algorithm.
+//! One model serves *any* application preference `w = <w_thr, w_lat,
+//! w_loss>` because:
+//!
+//! 1. the preference is part of the state, embedded by a learned
+//!    *preference sub-network* ([`PrefNet`], Fig. 3);
+//! 2. the reward is dynamically parameterized by the preference
+//!    (Eq. 2, implemented in [`MoccEnv`]);
+//! 3. offline training covers a simplex of landmark objectives in two
+//!    phases — bootstrapping plus neighborhood-ordered fast traversal
+//!    ([`train`], §4.2, Appendix B);
+//! 4. online adaptation fine-tunes for new applications with
+//!    requirement replay so old ones are not forgotten ([`online`],
+//!    §4.3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mocc_core::{MoccAgent, MoccConfig, Preference};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+//! // One model, many objectives: actions differ by preference.
+//! let hist = vec![0.0f32; 30];
+//! let a = agent.act(&Preference::throughput(), &hist);
+//! let b = agent.act(&Preference::latency(), &hist);
+//! assert!(a.is_finite() && b.is_finite());
+//! ```
+
+pub mod adapter;
+pub mod agent;
+pub mod api;
+pub mod aurora;
+pub mod config;
+pub mod env;
+pub mod graph;
+pub mod online;
+pub mod preference;
+pub mod prefnet;
+pub mod train;
+
+pub use adapter::MoccCc;
+pub use agent::{stats_features, MoccAgent};
+pub use api::{MoccLib, MoccLibError, NetStatus};
+pub use aurora::{AuroraAgent, AuroraBank, AuroraCc};
+pub use config::MoccConfig;
+pub use env::{MoccEnv, ScenarioSource};
+pub use online::{convergence_iter, AdaptationPoint, OnlineAdapter};
+pub use preference::{landmark_count, landmarks, nearest, Preference};
+pub use prefnet::PrefNet;
+pub use train::{
+    evaluate, train_iteration, train_iteration_contrast, train_offline, TrainOutcome, TrainRegime,
+};

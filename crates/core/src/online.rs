@@ -1,0 +1,164 @@
+//! Online adaptation with requirement replay (§4.3).
+//!
+//! When a new application (preference) arrives, MOCC starts from the
+//! offline-trained correlation model — already a reasonable policy —
+//! and fine-tunes with PPO. To avoid catastrophic forgetting under the
+//! biased objective distributions of deployment, every online step
+//! optimizes the averaged loss of Eq. 6: one rollout under the new
+//! preference plus one under a preference drawn uniformly from the
+//! replay pool of previously seen applications.
+
+use crate::agent::MoccAgent;
+use crate::env::MoccEnv;
+use crate::preference::Preference;
+use mocc_netsim::{Scenario, ScenarioRange};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One point on an adaptation curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdaptationPoint {
+    /// Online iteration index.
+    pub iter: usize,
+    /// Mean rollout reward under the new preference.
+    pub new_reward: f32,
+    /// Deterministic evaluation reward on the *old* preference (only
+    /// recorded every `eval_every` iterations).
+    pub old_reward: Option<f32>,
+}
+
+/// Online adaptation session state.
+pub struct OnlineAdapter {
+    /// The adapting agent (starts from the offline model).
+    pub agent: MoccAgent,
+    /// Replay pool of previously encountered preferences.
+    pub pool: Vec<Preference>,
+    rng: StdRng,
+}
+
+impl OnlineAdapter {
+    /// Starts an online session from an offline-trained agent, with the
+    /// given already-served applications in the replay pool.
+    pub fn new(agent: MoccAgent, pool: Vec<Preference>, seed: u64) -> Self {
+        OnlineAdapter {
+            agent,
+            pool,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Adapts to `new_pref` for `iters` online iterations.
+    ///
+    /// Every iteration collects one rollout under the new preference
+    /// and — when `replay` is true — one under a uniformly sampled old
+    /// preference, then updates on both (the ½(L(w_i) + L(w_j)) loss of
+    /// Eq. 6). With `replay` false this degrades to plain fine-tuning,
+    /// which is what the forgetting comparison of Fig. 7b runs.
+    ///
+    /// `eval` supplies `(old_pref, scenario, every)` to periodically
+    /// score the old application with the deterministic policy.
+    pub fn adapt(
+        &mut self,
+        new_pref: Preference,
+        range: ScenarioRange,
+        iters: usize,
+        replay: bool,
+        eval: Option<(Preference, Scenario, usize)>,
+    ) -> Vec<AdaptationPoint> {
+        let mut curve = Vec::with_capacity(iters);
+        let steps = self.agent.cfg.rollout_steps;
+        for iter in 0..iters {
+            let seed: u64 = self.rng.gen();
+            let mut env_new = MoccEnv::training(self.agent.cfg, new_pref, range, seed);
+            let r_new = self
+                .agent
+                .ppo
+                .collect_rollout(&mut env_new, steps, &mut self.rng);
+            let mut rollouts = vec![r_new];
+            if replay && !self.pool.is_empty() {
+                let old = self.pool[self.rng.gen_range(0..self.pool.len())];
+                let mut env_old =
+                    MoccEnv::training(self.agent.cfg, old, range, seed.wrapping_add(1));
+                rollouts.push(
+                    self.agent
+                        .ppo
+                        .collect_rollout(&mut env_old, steps, &mut self.rng),
+                );
+            }
+            let new_reward = rollouts[0].mean_reward();
+            let _ = self.agent.ppo.update(&rollouts, &mut self.rng);
+            let old_reward = match &eval {
+                Some((old_pref, sc, every)) if iter % (*every).max(1) == 0 => Some(
+                    crate::train::evaluate(&self.agent, *old_pref, sc.clone(), 1),
+                ),
+                _ => None,
+            };
+            curve.push(AdaptationPoint {
+                iter,
+                new_reward,
+                old_reward,
+            });
+        }
+        self.pool.push(new_pref);
+        curve
+    }
+}
+
+/// Iteration at which a curve first reaches `frac` of its maximum gain
+/// over its starting value — the paper's convergence criterion
+/// ("99 % of the maximum reward gain", §6.2).
+pub fn convergence_iter(rewards: &[f32], frac: f32) -> Option<usize> {
+    if rewards.is_empty() {
+        return None;
+    }
+    let start = rewards[0];
+    let max = rewards.iter().cloned().fold(f32::MIN, f32::max);
+    if max <= start {
+        return Some(0);
+    }
+    let threshold = start + frac * (max - start);
+    rewards.iter().position(|&r| r >= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MoccConfig;
+
+    #[test]
+    fn convergence_iter_on_known_curve() {
+        let curve = [0.0, 0.2, 0.5, 0.9, 0.99, 1.0, 1.0];
+        assert_eq!(convergence_iter(&curve, 0.99), Some(4));
+        assert_eq!(convergence_iter(&curve, 0.5), Some(2));
+        assert_eq!(convergence_iter(&[], 0.99), None);
+        // Flat curve converges immediately.
+        assert_eq!(convergence_iter(&[1.0, 1.0], 0.99), Some(0));
+    }
+
+    #[test]
+    fn adaptation_records_and_grows_pool() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MoccConfig {
+            rollout_steps: 40,
+            episode_mis: 40,
+            ..MoccConfig::fast()
+        };
+        let agent = MoccAgent::new(cfg, &mut rng);
+        let mut adapter = OnlineAdapter::new(agent, vec![Preference::throughput()], 1);
+        let range = ScenarioRange::training();
+        let sc = Scenario::single(4e6, 20, 500, 0.0, 60);
+        let curve = adapter.adapt(
+            Preference::latency(),
+            range,
+            3,
+            true,
+            Some((Preference::throughput(), sc, 2)),
+        );
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].old_reward.is_some(), "eval at iter 0");
+        assert!(curve[1].old_reward.is_none());
+        assert!(curve[2].old_reward.is_some(), "eval at iter 2");
+        assert_eq!(adapter.pool.len(), 2, "new preference joined the pool");
+    }
+}

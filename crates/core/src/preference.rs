@@ -1,0 +1,195 @@
+//! Application preferences: weight vectors over (throughput, latency,
+//! loss).
+//!
+//! A preference `w = <w_thr, w_lat, w_loss>` with `w_i ∈ (0, 1)` and
+//! `Σw_i = 1` expresses an application's requirement (§4.1). Landmark
+//! objectives for offline training are the interior lattice points of
+//! the probability simplex at a given step size; step 1/10 yields the
+//! paper's ω = 36.
+//!
+//! Note: §6.5's footnote lists ω = "3, 6, 12, 36, 171" for steps
+//! {1/4, 1/5, 1/6, 1/10, 1/20}, but the interior-lattice count
+//! `C(k−1, 2)` gives 3, 6, **10**, 36, 171 — and Fig. 16's own legend
+//! says ω = 10, so the text's 12 is a typo we do not reproduce.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A normalized application preference over the three CC metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Preference {
+    /// Throughput weight.
+    pub thr: f32,
+    /// Latency weight.
+    pub lat: f32,
+    /// Loss weight.
+    pub loss: f32,
+}
+
+impl Preference {
+    /// Builds a preference, normalizing the weights to sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero.
+    pub fn new(thr: f32, lat: f32, loss: f32) -> Self {
+        assert!(
+            thr >= 0.0 && lat >= 0.0 && loss >= 0.0,
+            "weights must be non-negative"
+        );
+        let s = thr + lat + loss;
+        assert!(s > 0.0, "at least one weight must be positive");
+        Preference {
+            thr: thr / s,
+            lat: lat / s,
+            loss: loss / s,
+        }
+    }
+
+    /// The paper's throughput-oriented example, <0.8, 0.1, 0.1>.
+    pub fn throughput() -> Self {
+        Preference::new(0.8, 0.1, 0.1)
+    }
+
+    /// The paper's latency-oriented example, <0.1, 0.8, 0.1>.
+    pub fn latency() -> Self {
+        Preference::new(0.1, 0.8, 0.1)
+    }
+
+    /// A balanced preference, <1/3, 1/3, 1/3>.
+    pub fn balanced() -> Self {
+        Preference::new(1.0, 1.0, 1.0)
+    }
+
+    /// The weights as an array `[thr, lat, loss]`.
+    pub fn as_array(&self) -> [f32; 3] {
+        [self.thr, self.lat, self.loss]
+    }
+
+    /// L1 distance between two preferences.
+    pub fn l1(&self, other: &Preference) -> f32 {
+        (self.thr - other.thr).abs() + (self.lat - other.lat).abs() + (self.loss - other.loss).abs()
+    }
+
+    /// Scalarized reward `w · (O_thr, O_lat, O_loss)` (Eq. 2).
+    pub fn reward(&self, o_thr: f32, o_lat: f32, o_loss: f32) -> f32 {
+        self.thr * o_thr + self.lat * o_lat + self.loss * o_loss
+    }
+
+    /// Draws a uniformly random interior preference (for the
+    /// 100-objective experiment of Fig. 6).
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        // Uniform on the simplex via normalized exponentials.
+        loop {
+            let a: f32 = -(rng.gen_range(1e-6f32..1.0)).ln();
+            let b: f32 = -(rng.gen_range(1e-6f32..1.0)).ln();
+            let c: f32 = -(rng.gen_range(1e-6f32..1.0)).ln();
+            let s = a + b + c;
+            if s > 0.0 && a > 0.0 && b > 0.0 && c > 0.0 {
+                return Preference {
+                    thr: a / s,
+                    lat: b / s,
+                    loss: c / s,
+                };
+            }
+        }
+    }
+}
+
+/// Generates the landmark objectives at simplex step `1/k`: every
+/// `<i/k, j/k, l/k>` with positive integers `i + j + l = k`. The count
+/// is `C(k−1, 2)`.
+pub fn landmarks(k: usize) -> Vec<Preference> {
+    assert!(k >= 3, "need step at least 1/3 for interior points");
+    let mut out = Vec::new();
+    for i in 1..k - 1 {
+        for j in 1..k - i {
+            let l = k - i - j;
+            if l >= 1 {
+                out.push(Preference {
+                    thr: i as f32 / k as f32,
+                    lat: j as f32 / k as f32,
+                    loss: l as f32 / k as f32,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Number of landmarks at step `1/k` without generating them.
+pub fn landmark_count(k: usize) -> usize {
+    (k - 1) * (k - 2) / 2
+}
+
+/// Finds the landmark nearest (L1) to `target`.
+pub fn nearest<'a>(set: &'a [Preference], target: &Preference) -> &'a Preference {
+    set.iter()
+        .min_by(|a, b| a.l1(target).partial_cmp(&b.l1(target)).unwrap())
+        .expect("nonempty landmark set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn omega_counts_match_figure16() {
+        // Steps {4, 5, 6, 10, 20} → ω ∈ {3, 6, 10, 36, 171}.
+        for (k, omega) in [(4, 3), (5, 6), (6, 10), (10, 36), (20, 171)] {
+            assert_eq!(landmarks(k).len(), omega, "step 1/{k}");
+            assert_eq!(landmark_count(k), omega);
+        }
+    }
+
+    #[test]
+    fn landmarks_are_interior_and_normalized() {
+        for w in landmarks(10) {
+            assert!(w.thr > 0.0 && w.lat > 0.0 && w.loss > 0.0);
+            assert!((w.thr + w.lat + w.loss - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn new_normalizes() {
+        let w = Preference::new(2.0, 1.0, 1.0);
+        assert!((w.thr - 0.5).abs() < 1e-6);
+        assert!((w.thr + w.lat + w.loss - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reward_is_scalarization() {
+        let w = Preference::new(0.8, 0.1, 0.1);
+        let r = w.reward(1.0, 0.5, 1.0);
+        assert!((r - (0.8 + 0.05 + 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_preferences_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let w = Preference::random(&mut rng);
+            assert!((w.thr + w.lat + w.loss - 1.0).abs() < 1e-5);
+            assert!(w.thr > 0.0 && w.lat > 0.0 && w.loss > 0.0);
+        }
+    }
+
+    #[test]
+    fn nearest_finds_closest_landmark() {
+        let set = landmarks(10);
+        let target = Preference::new(0.8, 0.1, 0.1);
+        let n = nearest(&set, &target);
+        assert!(n.l1(&target) < 1e-6, "exact lattice point found");
+        let odd = Preference::new(0.77, 0.13, 0.10);
+        let n2 = nearest(&set, &odd);
+        assert!(n2.l1(&odd) <= 0.1, "within one lattice step");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = Preference::new(-0.1, 0.6, 0.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! The preference-sub-network policy architecture (Fig. 3).
+//!
+//! [`PrefNet`] is the composite network MOCC uses for both actor and
+//! critic: the application preference `w` (the first three input
+//! columns) passes through a small dense *preference sub-network* whose
+//! feature output is concatenated with the network-condition history
+//! and fed to the 64/32-tanh trunk. Gradients flow through both parts,
+//! so the agent *learns* how to embed requirements — this is what lets
+//! one model correlate preferences with control policies (§4.1).
+
+use mocc_nn::mlp::ForwardCache;
+use mocc_nn::{Activation, Matrix, Mlp, Network};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Slot offset separating preference-sub-network parameters from trunk
+/// parameters in optimizer state.
+const PN_SLOT_OFFSET: usize = 1_000;
+
+/// The MOCC policy network: preference sub-network ⊕ trunk (Fig. 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefNet {
+    /// Number of leading input columns holding the preference.
+    pub pref_dim: usize,
+    /// The preference sub-network (pref → features, tanh).
+    pub pn: Mlp,
+    /// The trunk ((features ⊕ history) → output).
+    pub main: Mlp,
+}
+
+/// Forward cache for [`PrefNet`].
+#[derive(Debug, Clone)]
+pub struct PrefNetCache {
+    pn: ForwardCache,
+    main: ForwardCache,
+}
+
+impl PrefNet {
+    /// Builds a preference network.
+    ///
+    /// * `pref_dim` — preference input size (3 for MOCC),
+    /// * `pn_features` — sub-network feature width,
+    /// * `rest_dim` — network-condition history size (η × 3),
+    /// * `hidden` — trunk hidden sizes (paper: 64, 32),
+    /// * `out_dim` — 1 for both actor mean and critic value.
+    pub fn new<R: Rng>(
+        pref_dim: usize,
+        pn_features: usize,
+        rest_dim: usize,
+        hidden: &[usize],
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let pn = Mlp::new(
+            &[pref_dim, pn_features],
+            Activation::Tanh,
+            Activation::Tanh,
+            rng,
+        );
+        let mut sizes = vec![pn_features + rest_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(out_dim);
+        let main = Mlp::new(&sizes, Activation::Tanh, Activation::Linear, rng);
+        PrefNet { pref_dim, pn, main }
+    }
+
+    fn rest_dim(&self) -> usize {
+        self.main.in_dim() - self.pn.out_dim()
+    }
+}
+
+impl Network for PrefNet {
+    type Cache = PrefNetCache;
+
+    fn in_dim(&self) -> usize {
+        self.pref_dim + self.rest_dim()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.main.out_dim()
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim());
+        let f = self.pn.forward(&x[..self.pref_dim]);
+        let mut joint = f;
+        joint.extend_from_slice(&x[self.pref_dim..]);
+        self.main.forward(&joint)
+    }
+
+    fn forward_batch(&self, x: &Matrix) -> PrefNetCache {
+        let w = x.slice_cols(0, self.pref_dim);
+        let rest = x.slice_cols(self.pref_dim, x.cols);
+        let pn = self.pn.forward_batch(&w);
+        let joint = pn.output().hstack(&rest);
+        let main = self.main.forward_batch(&joint);
+        PrefNetCache { pn, main }
+    }
+
+    fn cache_output(cache: &PrefNetCache) -> &Matrix {
+        cache.main.output()
+    }
+
+    fn backward(&mut self, cache: &PrefNetCache, grad_out: &Matrix) -> Matrix {
+        let g_joint = self.main.backward(&cache.main, grad_out);
+        let pnf = self.pn.out_dim();
+        let g_features = g_joint.slice_cols(0, pnf);
+        let g_rest = g_joint.slice_cols(pnf, g_joint.cols);
+        let g_pref = self.pn.backward(&cache.pn, &g_features);
+        g_pref.hstack(&g_rest)
+    }
+
+    fn zero_grad(&mut self) {
+        self.pn.zero_grad();
+        self.main.zero_grad();
+    }
+
+    fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
+        self.main.for_each_param(&mut f);
+        self.pn
+            .for_each_param(|slot, p, g| f(slot + PN_SLOT_OFFSET, p, g));
+    }
+
+    fn copy_params_from(&mut self, other: &Self) {
+        self.pn.copy_params_from(&other.pn);
+        self.main.copy_params_from(&other.main);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(rng: &mut StdRng) -> PrefNet {
+        PrefNet::new(3, 8, 6, &[16, 8], 1, rng)
+    }
+
+    #[test]
+    fn dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = net(&mut rng);
+        assert_eq!(n.in_dim(), 9);
+        assert_eq!(n.out_dim(), 1);
+    }
+
+    #[test]
+    fn single_and_batch_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = net(&mut rng);
+        let x1 = [0.8, 0.1, 0.1, 0.2, -0.3, 0.4, 0.0, 1.0, -1.0];
+        let x2 = [0.1, 0.8, 0.1, 0.0, 0.0, 0.0, 0.5, 0.5, 0.5];
+        let batch = Matrix::from_vec(2, 9, [x1, x2].concat());
+        let cache = n.forward_batch(&batch);
+        let out = PrefNet::cache_output(&cache);
+        for (i, x) in [x1, x2].iter().enumerate() {
+            let single = n.forward(x)[0];
+            assert!(
+                (single - out.get(i, 0)).abs() < 1e-5,
+                "row {i}: {single} vs {}",
+                out.get(i, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn preference_changes_output() {
+        // The whole point of the architecture: different preferences
+        // with identical network history must map to different outputs.
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = net(&mut rng);
+        let hist = [0.2, -0.3, 0.4, 0.0, 1.0, -1.0];
+        let mut a = vec![0.8, 0.1, 0.1];
+        a.extend_from_slice(&hist);
+        let mut b = vec![0.1, 0.8, 0.1];
+        b.extend_from_slice(&hist);
+        assert!((n.forward(&a)[0] - n.forward(&b)[0]).abs() > 1e-6);
+    }
+
+    /// Finite-difference gradient check through BOTH sub-networks.
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut n = net(&mut rng);
+        let x = Matrix::from_vec(
+            2,
+            9,
+            vec![
+                0.8, 0.1, 0.1, 0.2, -0.3, 0.4, 0.0, 1.0, -1.0, //
+                0.3, 0.3, 0.4, -0.2, 0.3, -0.4, 0.5, -1.0, 1.0,
+            ],
+        );
+        let loss = |m: &PrefNet| -> f32 {
+            let c = m.forward_batch(&x);
+            PrefNet::cache_output(&c).data.iter().map(|v| v * v).sum()
+        };
+        n.zero_grad();
+        let cache = n.forward_batch(&x);
+        let mut g = PrefNet::cache_output(&cache).clone();
+        g.map_inplace(|v| 2.0 * v);
+        let _ = n.backward(&cache, &g);
+
+        let mut slots: Vec<(usize, Vec<f32>)> = Vec::new();
+        n.for_each_param(|slot, _p, g| slots.push((slot, g.to_vec())));
+        // Check a coordinate in the trunk and one in the PN.
+        let eps = 1e-3f32;
+        for (slot, grads) in &slots {
+            let idx = grads.len() / 2;
+            let mut plus = n.clone();
+            let mut minus = n.clone();
+            plus.for_each_param(|s, p, _| {
+                if s == *slot {
+                    p[idx] += eps;
+                }
+            });
+            minus.for_each_param(|s, p, _| {
+                if s == *slot {
+                    p[idx] -= eps;
+                }
+            });
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let an = grads[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "slot {slot}: fd {fd} vs analytic {an}"
+            );
+        }
+        // The PN must actually receive gradient (slots ≥ offset exist
+        // with nonzero gradient).
+        assert!(slots
+            .iter()
+            .any(|(s, g)| *s >= 1_000 && g.iter().any(|&x| x != 0.0)));
+    }
+
+    #[test]
+    fn input_gradient_covers_pref_and_history() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut n = net(&mut rng);
+        let x = Matrix::from_vec(1, 9, vec![0.5, 0.3, 0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let cache = n.forward_batch(&x);
+        let g = Matrix::from_vec(1, 1, vec![1.0]);
+        let gin = n.backward(&cache, &g);
+        assert_eq!(gin.cols, 9);
+        assert!(gin.data[..3].iter().any(|&v| v != 0.0), "pref gradient");
+        assert!(gin.data[3..].iter().any(|&v| v != 0.0), "history gradient");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = net(&mut rng);
+        let json = serde_json::to_string(&n).unwrap();
+        let back: PrefNet = serde_json::from_str(&json).unwrap();
+        let x = [0.8, 0.1, 0.1, 0.2, -0.3, 0.4, 0.0, 1.0, -1.0];
+        assert_eq!(n.forward(&x), back.forward(&x));
+    }
+}

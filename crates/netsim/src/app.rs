@@ -1,0 +1,126 @@
+//! Application-limited traffic sources.
+//!
+//! By default a flow is a greedy bulk source with unlimited data. The
+//! §6.3 application experiments (video streaming, real-time
+//! communications) instead generate data over time; they implement
+//! [`AppSource`] and the sender only transmits what the application has
+//! made available.
+
+use crate::time::SimTime;
+
+/// A traffic source that limits how much data the sender may transmit.
+pub trait AppSource: Send {
+    /// Takes up to `max_bytes` from the source for transmission,
+    /// returning how many bytes are actually handed to the sender.
+    fn take(&mut self, now: SimTime, max_bytes: u64) -> u64;
+
+    /// Notifies the source that `bytes` were delivered (acknowledged).
+    fn on_delivered(&mut self, _now: SimTime, _bytes: u64) {}
+
+    /// Notifies the source that `bytes` previously taken were lost in
+    /// the network. Reliable applications re-supply them (the sender
+    /// will `take` them again, modelling retransmission); real-time
+    /// applications ignore the callback (stale data is not resent).
+    fn on_lost(&mut self, _now: SimTime, _bytes: u64) {}
+
+    /// The next time at which the source may produce new data, used by
+    /// the simulator to re-poll an idle sender. `None` means the source
+    /// only changes in response to deliveries.
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+}
+
+/// An always-full source: the classic greedy bulk sender.
+#[derive(Debug, Default, Clone)]
+pub struct GreedySource;
+
+impl AppSource for GreedySource {
+    fn take(&mut self, _now: SimTime, max_bytes: u64) -> u64 {
+        max_bytes
+    }
+}
+
+/// A source producing `bytes_per_interval` every `interval`, e.g. a
+/// video encoder emitting a frame every 33 ms. Backlog accumulates if
+/// the network cannot keep up.
+#[derive(Debug, Clone)]
+pub struct PeriodicSource {
+    /// Bytes produced at each interval boundary.
+    pub bytes_per_interval: u64,
+    /// Production interval.
+    pub interval: crate::time::SimDuration,
+    backlog: u64,
+    next_production: SimTime,
+}
+
+impl PeriodicSource {
+    /// Creates a periodic source starting production at time zero.
+    pub fn new(bytes_per_interval: u64, interval: crate::time::SimDuration) -> Self {
+        PeriodicSource {
+            bytes_per_interval,
+            interval,
+            backlog: 0,
+            next_production: SimTime::ZERO,
+        }
+    }
+
+    fn produce_until(&mut self, now: SimTime) {
+        while self.next_production <= now {
+            self.backlog += self.bytes_per_interval;
+            self.next_production = self.next_production + self.interval;
+        }
+    }
+
+    /// Bytes currently waiting to be sent.
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+}
+
+impl AppSource for PeriodicSource {
+    fn take(&mut self, now: SimTime, max_bytes: u64) -> u64 {
+        self.produce_until(now);
+        let granted = self.backlog.min(max_bytes);
+        self.backlog -= granted;
+        granted
+    }
+
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        Some(self.next_production)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn greedy_grants_everything() {
+        let mut s = GreedySource;
+        assert_eq!(s.take(SimTime::ZERO, 123), 123);
+    }
+
+    #[test]
+    fn periodic_accumulates_backlog() {
+        let mut s = PeriodicSource::new(1000, SimDuration::from_millis(10));
+        // At t = 25 ms three intervals have elapsed (t = 0, 10, 20).
+        assert_eq!(s.take(SimTime::from_millis(25), 10_000), 3000);
+        assert_eq!(s.backlog(), 0);
+        // Nothing new until the next boundary.
+        assert_eq!(s.take(SimTime::from_millis(29), 10_000), 0);
+        assert_eq!(s.take(SimTime::from_millis(30), 500), 500);
+        assert_eq!(s.backlog(), 500);
+    }
+
+    #[test]
+    fn periodic_reports_wakeup() {
+        let mut s = PeriodicSource::new(100, SimDuration::from_millis(10));
+        let _ = s.take(SimTime::from_millis(5), 1000);
+        assert_eq!(
+            s.next_wakeup(SimTime::from_millis(5)),
+            Some(SimTime::from_millis(10))
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Evaluation metrics used throughout the paper's figures.
+
+use crate::sim::{FlowResult, SimResult};
+
+/// Jain's fairness index over a slice of allocations.
+///
+/// `J = (Σx)² / (n · Σx²)`, in `(0, 1]`; 1 means perfectly equal shares.
+/// Returns 1.0 for an empty or all-zero input (a degenerate but fair
+/// allocation).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (s * s) / (xs.len() as f64 * sq)
+}
+
+/// Per-second Jain indices over the seconds in which at least two flows
+/// are active (nonzero delivery), as used for Fig. 12.
+pub fn per_second_jain(flows: &[FlowResult]) -> Vec<f64> {
+    let horizon = flows
+        .iter()
+        .map(|f| f.per_sec_mbits.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::new();
+    for sec in 0..horizon {
+        let active: Vec<f64> = flows
+            .iter()
+            .filter_map(|f| f.per_sec_mbits.get(sec).copied())
+            .filter(|&x| x > 0.0)
+            .collect();
+        if active.len() >= 2 {
+            out.push(jain_index(&active));
+        }
+    }
+    out
+}
+
+/// Friendliness ratio: delivery rate of the scheme under test over the
+/// delivery rate of the competing CUBIC flow (§6.4, Fig. 15).
+pub fn friendliness_ratio(scheme: &FlowResult, cubic: &FlowResult) -> f64 {
+    scheme.throughput_bps / cubic.throughput_bps.max(1.0)
+}
+
+/// Aggregate link utilization: total delivered bits of all flows over
+/// the link's capacity for the run.
+pub fn total_utilization(res: &SimResult) -> f64 {
+    let total: f64 = res.flows.iter().map(|f| f.throughput_bps).sum();
+    total / res.link_mean_rate_bps.max(1.0)
+}
+
+/// Empirical CDF helper: sorts values and returns `(value, fraction ≤ value)`
+/// pairs, for printing figure-style CDF series.
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len() as f64;
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice (0 for fewer than 2 items).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Percentile (nearest-rank) of a slice; `p` in `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize - 1;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_equal_shares_is_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog() {
+        // One of n flows hogging everything gives J = 1/n.
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_empty_and_zero() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone() {
+        let e = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(e[0], (1.0, 1.0 / 3.0));
+        assert_eq!(e[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), 4.0);
+    }
+}

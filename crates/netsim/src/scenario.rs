@@ -1,0 +1,238 @@
+//! Experiment scenario descriptions.
+//!
+//! A [`Scenario`] fully describes one simulation: the bottleneck link,
+//! the competing flows, and global knobs such as the maximum segment
+//! size. Scenarios for the paper's parameter ranges (Table 3) are
+//! provided by [`ScenarioRange`].
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::BandwidthTrace;
+use rand::Rng;
+
+/// Description of the shared bottleneck link.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Bottleneck bandwidth over time.
+    pub trace: BandwidthTrace,
+    /// One-way propagation delay (data direction). ACKs take the same
+    /// time back, so the base RTT is `2 × one_way_delay` plus
+    /// serialization.
+    pub one_way_delay: SimDuration,
+    /// DropTail queue capacity in packets.
+    pub queue_pkts: usize,
+    /// Independent random loss probability applied to data packets.
+    pub loss_rate: f64,
+}
+
+impl LinkSpec {
+    /// A constant-rate link.
+    pub fn constant(rate_bps: f64, owd: SimDuration, queue_pkts: usize, loss_rate: f64) -> Self {
+        LinkSpec {
+            trace: BandwidthTrace::constant(rate_bps),
+            one_way_delay: owd,
+            queue_pkts,
+            loss_rate,
+        }
+    }
+
+    /// Base round-trip time excluding serialization delay.
+    pub fn base_rtt(&self) -> SimDuration {
+        SimDuration(self.one_way_delay.0 * 2)
+    }
+
+    /// The bandwidth-delay product in packets of `mss` bytes, at the
+    /// link's maximum rate.
+    pub fn bdp_pkts(&self, mss_bytes: u32) -> f64 {
+        self.trace.max_rate() * self.base_rtt().as_secs_f64() / (mss_bytes as f64 * 8.0)
+    }
+}
+
+/// How a flow's monitor-interval length is chosen.
+#[derive(Debug, Clone, Copy)]
+pub enum MiMode {
+    /// Fixed interval length.
+    Fixed(SimDuration),
+    /// A multiple of the smoothed RTT, re-evaluated at every tick, with
+    /// a floor to avoid degenerate intervals before the first sample.
+    RttFraction(f64),
+}
+
+impl Default for MiMode {
+    fn default() -> Self {
+        // Aurora uses monitor intervals on the order of one RTT.
+        MiMode::RttFraction(1.0)
+    }
+}
+
+/// Description of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Time the flow starts sending.
+    pub start: SimTime,
+    /// Optional time the flow stops sending.
+    pub stop: Option<SimTime>,
+    /// Extra one-way delay on this flow's access path, letting flows in
+    /// a dumbbell differ in base RTT.
+    pub extra_owd: SimDuration,
+    /// Total bytes to transfer; `None` means an unbounded flow.
+    pub bytes_to_send: Option<u64>,
+    /// Monitor-interval policy for this flow.
+    pub mi: MiMode,
+}
+
+impl Default for FlowSpec {
+    fn default() -> Self {
+        FlowSpec {
+            start: SimTime::ZERO,
+            stop: None,
+            extra_owd: SimDuration::ZERO,
+            bytes_to_send: None,
+            mi: MiMode::default(),
+        }
+    }
+}
+
+impl FlowSpec {
+    /// A flow starting at `start` seconds with default settings.
+    pub fn starting_at(start_s: f64) -> Self {
+        FlowSpec {
+            start: SimTime::from_secs_f64(start_s),
+            ..Default::default()
+        }
+    }
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The shared bottleneck.
+    pub link: LinkSpec,
+    /// The participating flows (one congestion controller each).
+    pub flows: Vec<FlowSpec>,
+    /// Maximum segment size in bytes (data packets).
+    pub mss_bytes: u32,
+    /// Simulation horizon; events after this time are not processed.
+    pub duration: SimDuration,
+    /// RNG seed for random loss and traces.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A single-flow scenario over a constant link — the workhorse setup
+    /// for Figs. 5, 6 and the training environment.
+    pub fn single(rate_bps: f64, owd_ms: u64, queue_pkts: usize, loss: f64, dur_s: u64) -> Self {
+        Scenario {
+            link: LinkSpec::constant(rate_bps, SimDuration::from_millis(owd_ms), queue_pkts, loss),
+            flows: vec![FlowSpec::default()],
+            mss_bytes: 1500,
+            duration: SimDuration::from_secs(dur_s),
+            seed: 7,
+        }
+    }
+
+    /// A dumbbell with `n` flows starting `stagger_s` seconds apart —
+    /// the fairness setup of Fig. 11.
+    pub fn dumbbell(
+        rate_bps: f64,
+        owd_ms: u64,
+        queue_pkts: usize,
+        n: usize,
+        stagger_s: f64,
+        dur_s: u64,
+    ) -> Self {
+        Scenario {
+            link: LinkSpec::constant(rate_bps, SimDuration::from_millis(owd_ms), queue_pkts, 0.0),
+            flows: (0..n)
+                .map(|i| FlowSpec::starting_at(stagger_s * i as f64))
+                .collect(),
+            mss_bytes: 1500,
+            duration: SimDuration::from_secs(dur_s),
+            seed: 7,
+        }
+    }
+}
+
+/// A range of network parameters from which random scenarios are drawn
+/// (Table 3 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRange {
+    /// Bandwidth range, bits per second.
+    pub bandwidth_bps: (f64, f64),
+    /// One-way delay range, milliseconds.
+    pub owd_ms: (u64, u64),
+    /// Queue size range, packets.
+    pub queue_pkts: (usize, usize),
+    /// Random loss-rate range.
+    pub loss: (f64, f64),
+}
+
+impl ScenarioRange {
+    /// The paper's training ranges: 1–5 Mbps, 10–50 ms, 0–3000 pkts,
+    /// 0–3 % loss (Table 3).
+    pub fn training() -> Self {
+        ScenarioRange {
+            bandwidth_bps: (1e6, 5e6),
+            owd_ms: (10, 50),
+            queue_pkts: (2, 3000),
+            loss: (0.0, 0.03),
+        }
+    }
+
+    /// The paper's testing ranges: 10–50 Mbps, 10–200 ms, 500–5000
+    /// pkts, 0–10 % loss (Table 3).
+    pub fn testing() -> Self {
+        ScenarioRange {
+            bandwidth_bps: (10e6, 50e6),
+            owd_ms: (10, 200),
+            queue_pkts: (500, 5000),
+            loss: (0.0, 0.10),
+        }
+    }
+
+    /// Draws one single-flow scenario uniformly from the range.
+    pub fn sample<R: Rng>(&self, rng: &mut R, dur_s: u64) -> Scenario {
+        let mut sc = Scenario::single(
+            rng.gen_range(self.bandwidth_bps.0..=self.bandwidth_bps.1),
+            rng.gen_range(self.owd_ms.0..=self.owd_ms.1),
+            rng.gen_range(self.queue_pkts.0..=self.queue_pkts.1),
+            rng.gen_range(self.loss.0..=self.loss.1),
+            dur_s,
+        );
+        sc.seed = rng.gen();
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bdp_arithmetic() {
+        // 12 Mbps, 40 ms RTT -> BDP = 12e6 * 0.04 / (1500*8) = 40 pkts.
+        let link = LinkSpec::constant(12e6, SimDuration::from_millis(20), 100, 0.0);
+        assert!((link.bdp_pkts(1500) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dumbbell_staggers_flows() {
+        let sc = Scenario::dumbbell(12e6, 10, 100, 3, 100.0, 400);
+        assert_eq!(sc.flows.len(), 3);
+        assert_eq!(sc.flows[2].start, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn sampled_scenario_within_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = ScenarioRange::training();
+        for _ in 0..50 {
+            let sc = r.sample(&mut rng, 10);
+            let rate = sc.link.trace.max_rate();
+            assert!((1e6..=5e6).contains(&rate));
+            assert!(sc.link.loss_rate <= 0.03);
+            assert!(sc.link.queue_pkts <= 3000);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-varying bottleneck bandwidth traces.
+//!
+//! Experiments such as Fig. 1(a) of the paper drive the bottleneck with
+//! a bandwidth that changes over time (20–30 Mbps square wave). A
+//! [`BandwidthTrace`] is a piecewise-constant function from simulated
+//! time to link rate; the link looks up the active rate whenever it
+//! services a packet.
+
+use crate::time::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-constant bandwidth schedule for a link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Sorted `(start_time, rate_bps)` steps. The first entry must start
+    /// at time zero; each step is active until the next one begins.
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl BandwidthTrace {
+    /// A constant-rate trace.
+    pub fn constant(rate_bps: f64) -> Self {
+        BandwidthTrace {
+            steps: vec![(SimTime::ZERO, rate_bps)],
+        }
+    }
+
+    /// Builds a trace from explicit `(start, rate)` steps.
+    ///
+    /// Steps are sorted by start time; a step at time zero is prepended
+    /// (duplicating the first rate) if missing so that the trace is total.
+    pub fn from_steps(mut steps: Vec<(SimTime, f64)>) -> Self {
+        assert!(
+            !steps.is_empty(),
+            "a bandwidth trace needs at least one step"
+        );
+        steps.sort_by_key(|&(t, _)| t);
+        if steps[0].0 != SimTime::ZERO {
+            let first_rate = steps[0].1;
+            steps.insert(0, (SimTime::ZERO, first_rate));
+        }
+        BandwidthTrace { steps }
+    }
+
+    /// A square wave alternating between `low_bps` and `high_bps`, holding
+    /// each level for `period_s` seconds, starting at `low_bps`.
+    pub fn square_wave(low_bps: f64, high_bps: f64, period_s: f64, total_s: f64) -> Self {
+        let mut steps = Vec::new();
+        let mut t = 0.0;
+        let mut high = false;
+        while t < total_s {
+            steps.push((
+                SimTime::from_secs_f64(t),
+                if high { high_bps } else { low_bps },
+            ));
+            high = !high;
+            t += period_s;
+        }
+        BandwidthTrace::from_steps(steps)
+    }
+
+    /// A random-walk trace: every `step_s` seconds the rate moves to a
+    /// uniform sample in `[lo_bps, hi_bps]`. Used to generate varied
+    /// training conditions (Table 3).
+    pub fn random_walk<R: Rng>(
+        rng: &mut R,
+        lo_bps: f64,
+        hi_bps: f64,
+        step_s: f64,
+        total_s: f64,
+    ) -> Self {
+        let mut steps = Vec::new();
+        let mut t = 0.0;
+        while t < total_s {
+            steps.push((SimTime::from_secs_f64(t), rng.gen_range(lo_bps..=hi_bps)));
+            t += step_s;
+        }
+        BandwidthTrace::from_steps(steps)
+    }
+
+    /// Returns the rate (bps) active at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self.steps.binary_search_by_key(&t, |&(s, _)| s) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => self.steps[0].1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Returns the mean rate over `[0, horizon]`, weighting each step by
+    /// its active duration. Used as the utilization denominator when the
+    /// bottleneck varies.
+    pub fn mean_rate(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return self.steps[0].1;
+        }
+        let mut acc = 0.0;
+        for (i, &(start, rate)) in self.steps.iter().enumerate() {
+            if start >= horizon {
+                break;
+            }
+            let end = self
+                .steps
+                .get(i + 1)
+                .map(|&(s, _)| s.min(horizon))
+                .unwrap_or(horizon);
+            acc += rate * (end - start).as_secs_f64();
+        }
+        acc / horizon.as_secs_f64()
+    }
+
+    /// Maximum rate over all steps (used for capacity normalization).
+    pub fn max_rate(&self) -> f64 {
+        self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+
+    /// The trace steps, for inspection and plotting.
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_trace() {
+        let tr = BandwidthTrace::constant(10e6);
+        assert_eq!(tr.rate_at(SimTime::ZERO), 10e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs(100)), 10e6);
+        assert_eq!(tr.mean_rate(SimTime::from_secs(10)), 10e6);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let tr = BandwidthTrace::square_wave(20e6, 30e6, 5.0, 20.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs_f64(1.0)), 20e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs_f64(6.0)), 30e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs_f64(11.0)), 20e6);
+        let mean = tr.mean_rate(SimTime::from_secs(20));
+        assert!((mean - 25e6).abs() < 1e3, "mean {mean}");
+    }
+
+    #[test]
+    fn from_steps_prepends_zero() {
+        let tr = BandwidthTrace::from_steps(vec![(SimTime::from_secs(5), 7e6)]);
+        assert_eq!(tr.rate_at(SimTime::ZERO), 7e6);
+    }
+
+    #[test]
+    fn random_walk_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tr = BandwidthTrace::random_walk(&mut rng, 1e6, 5e6, 1.0, 30.0);
+        for s in tr.steps() {
+            assert!(s.1 >= 1e6 && s.1 <= 5e6);
+        }
+        assert!(tr.max_rate() <= 5e6);
+    }
+
+    #[test]
+    fn lookup_exact_boundary() {
+        let tr =
+            BandwidthTrace::from_steps(vec![(SimTime::ZERO, 1e6), (SimTime::from_secs(2), 2e6)]);
+        assert_eq!(tr.rate_at(SimTime::from_secs(2)), 2e6);
+        assert_eq!(tr.rate_at(SimTime(1_999_999_999)), 1e6);
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense row-major matrices over `f32`.
+//!
+//! The MOCC policy networks are tiny (two hidden layers of 64 and 32
+//! units), so a straightforward cache-friendly row-major representation
+//! with naive loops is more than fast enough and keeps the arithmetic
+//! auditable.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f32` in row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `data[r * cols + c]`.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row matrix wrapping a slice.
+    pub fn row_vector(xs: &[f32]) -> Self {
+        Matrix::from_vec(1, xs.len(), xs.to_vec())
+    }
+
+    /// Xavier/Glorot-uniform initialization, the conventional choice for
+    /// tanh networks like the MOCC policy.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for c in 0..other.cols {
+                    out_row[c] += a * orow[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`, without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let srow = self.row(r);
+            let orow = other.row(r);
+            for k in 0..self.cols {
+                let a = srow[k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(k);
+                for c in 0..other.cols {
+                    out_row[c] += a * orow[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`, without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let srow = self.row(r);
+            for c in 0..other.rows {
+                let orow = other.row(c);
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += srow[k] * orow[k];
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Adds `bias` (length `cols`) to every row, in place.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (x, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Applies `f` to every element, in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise product, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard_inplace(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x *= y;
+        }
+    }
+
+    /// Sums each column into a vector of length `cols`.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// `self += k * other`.
+    pub fn axpy(&mut self, k: f32, other: &Matrix) {
+        assert_eq!(self.data.len(), other.data.len(), "axpy shape mismatch");
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += k * y;
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]` (same row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// A copy of columns `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zeros(self.rows, to - from);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
+        }
+        out
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        assert_eq!(a.t_matmul(&b).data, a.transpose().matmul(&b).data);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &[1., 0., 0., 0., 1., 0., 0., 0., 1., 1., 1., 1.]);
+        assert_eq!(a.matmul_t(&b).data, a.matmul(&b.transpose()).data);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.col_sums(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Matrix::xavier(64, 32, &mut rng);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(w.data.iter().all(|x| x.abs() <= limit));
+        // Not all identical.
+        assert!(w.data.iter().any(|&x| x != w.data[0]));
+    }
+
+    #[test]
+    fn hstack_and_slice_roundtrip() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 3, &[5., 6., 7., 8., 9., 10.]);
+        let c = a.hstack(&b);
+        assert_eq!(c.cols, 5);
+        assert_eq!(c.row(0), &[1., 2., 5., 6., 7.]);
+        assert_eq!(c.slice_cols(0, 2).data, a.data);
+        assert_eq!(c.slice_cols(2, 5).data, b.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,390 @@
+//! Multi-layer perceptrons with explicit backpropagation.
+//!
+//! The paper's policy and value networks are fully connected MLPs with
+//! two hidden layers of 64 and 32 tanh units (§5). [`Mlp`] implements
+//! batched forward passes with an activation cache and exact reverse-
+//! mode gradients, accumulated into per-layer gradient buffers that an
+//! optimizer consumes through [`Mlp::for_each_param`].
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent (the paper's choice).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (used for output layers).
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *post-activation* value,
+    /// which every supported function admits (tanh' = 1 − y², relu' =
+    /// [y > 0], linear' = 1) and which avoids caching pre-activations.
+    fn dydx_from_y(self, y: f32) -> f32 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One dense layer with its gradient buffers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+    /// Activation applied to the affine output.
+    pub act: Activation,
+    /// Accumulated weight gradient.
+    #[serde(skip)]
+    pub gw: Option<Matrix>,
+    /// Accumulated bias gradient.
+    #[serde(skip)]
+    pub gb: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// A Xavier-initialized dense layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, act: Activation, rng: &mut R) -> Self {
+        Dense {
+            w: Matrix::xavier(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            act,
+            gw: None,
+            gb: None,
+        }
+    }
+
+    fn ensure_grads(&mut self) {
+        if self.gw.is_none() {
+            self.gw = Some(Matrix::zeros(self.w.rows, self.w.cols));
+        }
+        if self.gb.is_none() {
+            self.gb = Some(vec![0.0; self.b.len()]);
+        }
+    }
+}
+
+/// Forward-pass cache: the input and each layer's post-activation
+/// output, needed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input batch; `activations[i + 1]` the
+    /// output of layer `i`.
+    pub activations: Vec<Matrix>,
+}
+
+impl ForwardCache {
+    /// The network output for this cache.
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("nonempty cache")
+    }
+}
+
+/// A fully connected feed-forward network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// The layers, applied in order.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer `sizes` (input first), hidden
+    /// activation `hidden`, and output activation `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng>(sizes: &[usize], hidden: Activation, out: Activation, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == sizes.len() { out } else { hidden };
+                Dense::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("nonempty").w.rows
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").w.cols
+    }
+
+    /// Batched forward pass with cache for backprop.
+    pub fn forward_batch(&self, x: &Matrix) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.clone());
+        for layer in &self.layers {
+            let mut z = activations.last().unwrap().matmul(&layer.w);
+            z.add_row_broadcast(&layer.b);
+            z.map_inplace(|v| layer.act.apply(v));
+            activations.push(z);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Single-sample forward pass (no cache) — the inference path used
+    /// by the deployed congestion controller.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let mut next = layer.b.clone();
+            for (i, &xi) in cur.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let wrow = layer.w.row(i);
+                for (n, &w) in next.iter_mut().zip(wrow) {
+                    *n += xi * w;
+                }
+            }
+            for n in &mut next {
+                *n = layer.act.apply(*n);
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Backpropagates `grad_out` (∂L/∂output, same shape as the cached
+    /// output), *accumulating* parameter gradients, and returns
+    /// ∂L/∂input.
+    pub fn backward(&mut self, cache: &ForwardCache, grad_out: &Matrix) -> Matrix {
+        assert_eq!(
+            cache.activations.len(),
+            self.layers.len() + 1,
+            "cache does not match network depth"
+        );
+        let mut grad = grad_out.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let y = &cache.activations[i + 1];
+            // Through the activation: dL/dz = dL/dy ⊙ act'(y).
+            for (g, &yv) in grad.data.iter_mut().zip(&y.data) {
+                *g *= layer.act.dydx_from_y(yv);
+            }
+            let x = &cache.activations[i];
+            layer.ensure_grads();
+            layer.gw.as_mut().unwrap().axpy(1.0, &x.t_matmul(&grad));
+            for (gb, s) in layer.gb.as_mut().unwrap().iter_mut().zip(grad.col_sums()) {
+                *gb += s;
+            }
+            if i > 0 {
+                grad = grad.matmul_t(&layer.w);
+            } else {
+                return grad.matmul_t(&layer.w);
+            }
+        }
+        unreachable!("loop always returns at i == 0");
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            if let Some(gw) = &mut layer.gw {
+                gw.fill_zero();
+            }
+            if let Some(gb) = &mut layer.gb {
+                gb.iter_mut().for_each(|x| *x = 0.0);
+            }
+        }
+    }
+
+    /// Visits each parameter tensor with its gradient, giving the
+    /// optimizer `(slot, params, grads)`. Slots are stable across calls.
+    pub fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.ensure_grads();
+            let Dense { w, b, gw, gb, .. } = layer;
+            f(2 * i, &mut w.data, &gw.as_ref().unwrap().data);
+            f(2 * i + 1, b, gb.as_ref().unwrap());
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.data.len() + l.b.len()).sum()
+    }
+
+    /// Copies all parameters from `other` (same architecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(a.w.data.len(), b.w.data.len());
+            a.w.data.copy_from_slice(&b.w.data);
+            a.b.copy_from_slice(&b.b);
+        }
+    }
+
+    /// Blends parameters: `self = (1 − τ)·self + τ·other` (Polyak
+    /// averaging, used for DQN target networks).
+    pub fn soft_update_from(&mut self, other: &Mlp, tau: f32) {
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            for (x, y) in a.w.data.iter_mut().zip(&b.w.data) {
+                *x = (1.0 - tau) * *x + tau * y;
+            }
+            for (x, y) in a.b.iter_mut().zip(&b.b) {
+                *x = (1.0 - tau) * *x + tau * y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(
+            &[5, 64, 32, 2],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng,
+        );
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.param_count(), 5 * 64 + 64 + 64 * 32 + 32 + 32 * 2 + 2);
+        let y = mlp.forward(&[0.1, -0.2, 0.3, 0.0, 1.0]);
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn batch_and_single_forward_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[3, 8, 2], Activation::Tanh, Activation::Linear, &mut rng);
+        let xs = [[0.5f32, -1.0, 2.0], [0.0, 0.0, 0.0], [1.0, 1.0, 1.0]];
+        let batch = Matrix::from_vec(3, 3, xs.concat());
+        let cache = mlp.forward_batch(&batch);
+        for (i, x) in xs.iter().enumerate() {
+            let single = mlp.forward(x);
+            for (a, b) in single.iter().zip(cache.output().row(i)) {
+                assert!((a - b).abs() < 1e-5, "row {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Finite-difference check of the full backward pass on a scalar
+    /// loss L = Σ output².
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&[4, 6, 3], Activation::Tanh, Activation::Linear, &mut rng);
+        let x = Matrix::from_vec(2, 4, vec![0.1, -0.4, 0.7, 0.2, -0.3, 0.5, 0.0, 1.0]);
+
+        let loss = |m: &Mlp| -> f32 {
+            let out = m.forward_batch(&x);
+            out.output().data.iter().map(|v| v * v).sum()
+        };
+
+        // Analytic gradients: dL/dout = 2·out.
+        mlp.zero_grad();
+        let cache = mlp.forward_batch(&x);
+        let mut gout = cache.output().clone();
+        gout.map_inplace(|v| 2.0 * v);
+        let _ = mlp.backward(&cache, &gout);
+
+        // Collect analytic grads.
+        let mut analytic: Vec<(usize, Vec<f32>)> = Vec::new();
+        mlp.for_each_param(|slot, _p, g| analytic.push((slot, g.to_vec())));
+
+        // Compare a sample of coordinates per tensor against central
+        // differences.
+        let eps = 1e-3f32;
+        for (slot, grads) in &analytic {
+            let n = grads.len();
+            for idx in [0, n / 2, n - 1] {
+                let mut plus = mlp.clone();
+                let mut minus = mlp.clone();
+                plus.for_each_param(|s, p, _| {
+                    if s == *slot {
+                        p[idx] += eps;
+                    }
+                });
+                minus.for_each_param(|s, p, _| {
+                    if s == *slot {
+                        p[idx] -= eps;
+                    }
+                });
+                let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                let an = grads[idx];
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                    "slot {slot} idx {idx}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_flows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![0.3, -0.6]);
+        let cache = mlp.forward_batch(&x);
+        let gout = Matrix::from_vec(1, 1, vec![1.0]);
+        let gin = mlp.backward(&cache, &gout);
+        assert_eq!(gin.rows, 1);
+        assert_eq!(gin.cols, 2);
+        assert!(gin.data.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn copy_and_soft_update() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        let mut b = Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        b.copy_params_from(&a);
+        assert_eq!(a.layers[0].w.data, b.layers[0].w.data);
+        let c = Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        b.soft_update_from(&c, 1.0);
+        assert_eq!(b.layers[0].w.data, c.layers[0].w.data);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&[3, 4, 2], Activation::Tanh, Activation::Linear, &mut rng);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(mlp.layers[0].w.data, back.layers[0].w.data);
+        let x = [0.1, 0.2, 0.3];
+        assert_eq!(mlp.forward(&x), back.forward(&x));
+    }
+}

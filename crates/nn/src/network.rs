@@ -1,0 +1,109 @@
+//! The trainable-network abstraction.
+//!
+//! [`Network`] is the minimal interface the RL layer needs from a
+//! differentiable function approximator: batched forward with a cache,
+//! reverse-mode backward, and parameter/gradient iteration for an
+//! optimizer. [`crate::Mlp`] implements it directly; MOCC's
+//! preference-sub-network composite (Fig. 3 of the paper) implements it
+//! in `mocc-core` by wiring two MLPs together.
+
+use crate::matrix::Matrix;
+use crate::mlp::{ForwardCache, Mlp};
+
+/// A differentiable network trainable by gradient descent.
+pub trait Network: Clone + Send {
+    /// Opaque forward-pass cache consumed by [`Network::backward`].
+    type Cache;
+
+    /// Input dimensionality.
+    fn in_dim(&self) -> usize;
+
+    /// Output dimensionality.
+    fn out_dim(&self) -> usize;
+
+    /// Single-sample forward pass (inference path).
+    fn forward(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Batched forward pass returning a cache for backprop.
+    fn forward_batch(&self, x: &Matrix) -> Self::Cache;
+
+    /// The output matrix stored in a cache.
+    fn cache_output(cache: &Self::Cache) -> &Matrix;
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients;
+    /// returns the gradient with respect to the input batch.
+    fn backward(&mut self, cache: &Self::Cache, grad_out: &Matrix) -> Matrix;
+
+    /// Zeroes accumulated gradients.
+    fn zero_grad(&mut self);
+
+    /// Visits each parameter tensor with its gradient under a stable
+    /// slot index (for per-slot optimizer state).
+    fn for_each_param(&mut self, f: impl FnMut(usize, &mut [f32], &[f32]));
+
+    /// Copies all parameters from another network of the same shape.
+    fn copy_params_from(&mut self, other: &Self);
+}
+
+impl Network for Mlp {
+    type Cache = ForwardCache;
+
+    fn in_dim(&self) -> usize {
+        Mlp::in_dim(self)
+    }
+
+    fn out_dim(&self) -> usize {
+        Mlp::out_dim(self)
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        Mlp::forward(self, x)
+    }
+
+    fn forward_batch(&self, x: &Matrix) -> ForwardCache {
+        Mlp::forward_batch(self, x)
+    }
+
+    fn cache_output(cache: &ForwardCache) -> &Matrix {
+        cache.output()
+    }
+
+    fn backward(&mut self, cache: &ForwardCache, grad_out: &Matrix) -> Matrix {
+        Mlp::backward(self, cache, grad_out)
+    }
+
+    fn zero_grad(&mut self) {
+        Mlp::zero_grad(self)
+    }
+
+    fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
+        Mlp::for_each_param(self, &mut f)
+    }
+
+    fn copy_params_from(&mut self, other: &Self) {
+        Mlp::copy_params_from(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generic_roundtrip<N: Network>(net: &N, x: &[f32]) -> Vec<f32> {
+        net.forward(x)
+    }
+
+    #[test]
+    fn mlp_usable_through_trait() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[3, 4, 2], Activation::Tanh, Activation::Linear, &mut rng);
+        let direct = mlp.forward(&[0.1, 0.2, 0.3]);
+        let via_trait = generic_roundtrip(&mlp, &[0.1, 0.2, 0.3]);
+        assert_eq!(direct, via_trait);
+        assert_eq!(Network::in_dim(&mlp), 3);
+        assert_eq!(Network::out_dim(&mlp), 2);
+    }
+}

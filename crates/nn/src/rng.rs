@@ -1,0 +1,66 @@
+//! Random sampling helpers.
+//!
+//! Only the uniform distribution comes from the `rand` crate; Gaussian
+//! samples (for the stochastic policy) are generated with the
+//! Box–Muller transform to avoid an extra dependency.
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    mean + std * randn(rng)
+}
+
+/// Log-density of a diagonal Gaussian at `x`.
+pub fn gaussian_log_prob(x: f32, mean: f32, std: f32) -> f32 {
+    let std = std.max(1e-6);
+    let z = (x - mean) / std;
+    -0.5 * z * z - std.ln() - 0.5 * (2.0 * std::f32::consts::PI).ln()
+}
+
+/// Differential entropy of a univariate Gaussian with std `std`.
+pub fn gaussian_entropy(std: f32) -> f32 {
+    0.5 * (2.0 * std::f32::consts::PI * std::f32::consts::E).ln() + std.max(1e-6).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_prob_peak_at_mean() {
+        let at_mean = gaussian_log_prob(0.0, 0.0, 1.0);
+        let off = gaussian_log_prob(1.0, 0.0, 1.0);
+        assert!(at_mean > off);
+        // Standard normal density at 0 is 1/sqrt(2π).
+        assert!((at_mean - (-0.5 * (2.0 * std::f32::consts::PI).ln())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_grows_with_std() {
+        assert!(gaussian_entropy(2.0) > gaussian_entropy(1.0));
+        // Known value: H(N(0,1)) = 0.5 ln(2πe) ≈ 1.4189.
+        assert!((gaussian_entropy(1.0) - 1.4189385).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mocc-rl — reinforcement-learning substrate
+//!
+//! The learning machinery behind MOCC: a continuous-action [`Env`]
+//! abstraction, [`Rollout`] storage with GAE(γ, λ) advantages, a
+//! diagonal-Gaussian [`GaussianPolicy`], the [`Ppo`] learner with the
+//! clipped surrogate and entropy bonus of Eqs. 3–5 of the paper, a
+//! [`Dqn`] baseline for the Fig. 18 ablation, and crossbeam-based
+//! parallel rollout collection standing in for the paper's Ray/RLlib
+//! setup.
+//!
+//! ## Example
+//!
+//! ```
+//! use mocc_rl::env::TargetEnv;
+//! use mocc_rl::ppo::{Ppo, PpoConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut ppo = Ppo::new(2, &[16], PpoConfig::default(), &mut rng);
+//! let mut env = TargetEnv::new(0.3, 16);
+//! let stats = ppo.train_iteration(&mut env, 64, &mut rng);
+//! assert!(stats.mean_reward.is_finite());
+//! ```
+
+pub mod dqn;
+pub mod env;
+pub mod policy;
+pub mod ppo;
+pub mod rollout;
+
+pub use dqn::{Dqn, DqnConfig};
+pub use env::Env;
+pub use policy::GaussianPolicy;
+pub use ppo::{collect_rollout, collect_rollouts_parallel, Ppo, PpoConfig, PpoStats};
+pub use rollout::{normalize, Rollout};

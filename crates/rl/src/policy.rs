@@ -1,0 +1,149 @@
+//! Stochastic Gaussian policy over a continuous scalar action.
+//!
+//! The actor network outputs the mean of a Gaussian action distribution
+//! (Fig. 3 of the paper); the log standard deviation is a separate
+//! state-independent learned parameter, the standard PPO
+//! parameterization for continuous control. The policy is generic over
+//! [`Network`] so that MOCC's preference-sub-network composite can be
+//! used as the mean network.
+
+use mocc_nn::rng::{gaussian_entropy, gaussian_log_prob, normal};
+use mocc_nn::{Mlp, Network};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameter slot used for the log-std scalar when iterating policy
+/// parameters (chosen to never collide with network slots).
+pub const LOG_STD_SLOT: usize = usize::MAX - 1;
+
+/// A diagonal-Gaussian policy with learned state-independent log-std.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(bound = "N: Serialize + for<'a> Deserialize<'a>")]
+pub struct GaussianPolicy<N: Network = Mlp> {
+    /// The mean network (obs → scalar mean).
+    pub net: N,
+    /// Log standard deviation of the action distribution.
+    pub log_std: f32,
+    /// Accumulated gradient of the log-std.
+    #[serde(skip)]
+    pub g_log_std: f32,
+}
+
+impl GaussianPolicy<Mlp> {
+    /// Builds an MLP-backed policy with the given hidden sizes
+    /// (paper: 64, 32 tanh).
+    pub fn new<R: Rng>(obs_dim: usize, hidden: &[usize], rng: &mut R) -> Self {
+        let mut sizes = vec![obs_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(1);
+        GaussianPolicy::from_net(Mlp::new(
+            &sizes,
+            mocc_nn::Activation::Tanh,
+            mocc_nn::Activation::Linear,
+            rng,
+        ))
+    }
+}
+
+impl<N: Network> GaussianPolicy<N> {
+    /// Wraps an arbitrary mean network into a Gaussian policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not output exactly one value.
+    pub fn from_net(net: N) -> Self {
+        assert_eq!(net.out_dim(), 1, "policy mean network must be scalar");
+        GaussianPolicy {
+            net,
+            log_std: -0.5,
+            g_log_std: 0.0,
+        }
+    }
+
+    /// The current standard deviation.
+    pub fn std(&self) -> f32 {
+        self.log_std.exp().max(1e-4)
+    }
+
+    /// Deterministic action: the mean (used at deployment time).
+    pub fn mean_action(&self, obs: &[f32]) -> f32 {
+        self.net.forward(obs)[0]
+    }
+
+    /// Samples an action, returning `(action, log_prob)`.
+    pub fn act<R: Rng>(&self, obs: &[f32], rng: &mut R) -> (f32, f32) {
+        let mean = self.mean_action(obs);
+        let std = self.std();
+        let a = normal(rng, mean, std);
+        (a, gaussian_log_prob(a, mean, std))
+    }
+
+    /// Log-probability of `action` at `obs` under the current policy.
+    pub fn log_prob(&self, obs: &[f32], action: f32) -> f32 {
+        gaussian_log_prob(action, self.mean_action(obs), self.std())
+    }
+
+    /// Differential entropy of the action distribution.
+    pub fn entropy(&self) -> f32 {
+        gaussian_entropy(self.std())
+    }
+
+    /// Zeroes accumulated gradients (network and log-std).
+    pub fn zero_grad(&mut self) {
+        self.net.zero_grad();
+        self.g_log_std = 0.0;
+    }
+
+    /// Visits every parameter tensor with its gradient, including the
+    /// log-std scalar under [`LOG_STD_SLOT`].
+    pub fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
+        self.net.for_each_param(&mut f);
+        let mut p = [self.log_std];
+        let g = [self.g_log_std];
+        f(LOG_STD_SLOT, &mut p, &g);
+        self.log_std = p[0].clamp(-3.0, 0.3);
+    }
+
+    /// Copies parameters from another policy of the same architecture.
+    pub fn copy_params_from(&mut self, other: &GaussianPolicy<N>) {
+        self.net.copy_params_from(&other.net);
+        self.log_std = other.log_std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_actions_concentrate_near_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pol = GaussianPolicy::new(3, &[8], &mut rng);
+        let obs = [0.2, -0.1, 0.4];
+        let mean = pol.mean_action(&obs);
+        let n = 4000;
+        let avg: f32 = (0..n).map(|_| pol.act(&obs, &mut rng).0).sum::<f32>() / n as f32;
+        assert!((avg - mean).abs() < 0.05, "avg {avg} vs mean {mean}");
+    }
+
+    #[test]
+    fn log_prob_consistent_with_sampling_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pol = GaussianPolicy::new(2, &[4], &mut rng);
+        let obs = [1.0, 0.0];
+        let m = pol.mean_action(&obs);
+        assert!(pol.log_prob(&obs, m) > pol.log_prob(&obs, m + 3.0 * pol.std()));
+    }
+
+    #[test]
+    fn log_std_clamped_after_update() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pol = GaussianPolicy::new(2, &[4], &mut rng);
+        pol.g_log_std = 0.0;
+        pol.log_std = 5.0; // Out of range on purpose.
+        pol.for_each_param(|_, _, _| {});
+        assert!(pol.log_std <= 0.3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Fairness demo: three CUBIC flows versus three BBR flows sharing a
+//! bottleneck, with per-second Jain index — the §6.4 methodology on
+//! classic schemes (runs with no training).
+//!
+//! ```text
+//! cargo run --release --example fairness
+//! ```
+
+use mocc::netsim::metrics::{jain_index, per_second_jain, percentile};
+use mocc::netsim::{Scenario, Simulator};
+
+fn main() {
+    for name in ["cubic", "bbr", "vegas", "copa"] {
+        // 12 Mbps, 20 ms RTT dumbbell, 3 flows staggered 30 s apart.
+        let sc = Scenario::dumbbell(12e6, 10, 40, 3, 30.0, 120);
+        let ccs = (0..3).map(|_| mocc::cc::by_name(name).unwrap()).collect();
+        let res = Simulator::new(sc, ccs).run();
+        let shares: Vec<f64> = res.flows.iter().map(|f| f.throughput_bps / 1e6).collect();
+        let jain_series = per_second_jain(&res.flows);
+        println!(
+            "{name:<8} shares {:>5.2} / {:>5.2} / {:>5.2} Mbps   overall J = {:.3}   median per-second J = {:.3}",
+            shares[0],
+            shares[1],
+            shares[2],
+            jain_index(&shares),
+            percentile(&jain_series, 50.0),
+        );
+    }
+    println!("\n(J = 1 is a perfectly equal share; see `cargo run -p mocc-bench --bin fig11_15`");
+    println!(" for the full Figs. 11-15 reproduction including MOCC variants)");
+}

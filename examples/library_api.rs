@@ -1,0 +1,48 @@
+//! The portable library facade of §5: `Register`, `ReportStatus`,
+//! `GetSendingRate`.
+//!
+//! ```text
+//! cargo run --release --example library_api
+//! ```
+//!
+//! Shows how a custom datapath (here: a toy loop pretending to be a
+//! transport) embeds MOCC through the three-function API, exactly like
+//! the paper's UDT and CCP integrations.
+
+use mocc::core::{MoccAgent, MoccConfig, MoccLib, NetStatus, Preference};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let agent = MoccAgent::new(MoccConfig::default(), &mut rng);
+
+    // The datapath owns a MoccLib and calls it each monitor interval.
+    let mut lib = MoccLib::new(&agent, 2e6);
+
+    // Register(w): the application declares its requirement.
+    lib.register(Preference::new(0.4, 0.5, 0.1));
+
+    // A pretend control loop: the "network" reports improving, then
+    // congesting conditions; the library steers the rate.
+    println!("{:<6}{:>14}{:>14}", "step", "lat ratio", "rate Mbps");
+    for step in 0..20 {
+        let congested = step >= 10;
+        let status = NetStatus {
+            send_ratio: if congested { 1.4 } else { 1.0 },
+            latency_ratio: if congested { 2.0 } else { 1.02 },
+            latency_gradient: if congested { 0.05 } else { 0.0 },
+        };
+        // ReportStatus(s_t) then GetSendingRate().
+        lib.report_status(status).expect("registered");
+        let rate = lib.get_sending_rate().expect("registered");
+        println!(
+            "{:<6}{:>14.2}{:>14.3}",
+            step,
+            status.latency_ratio,
+            rate / 1e6
+        );
+    }
+    println!("\n(an untrained demo model: the point is the API shape — any");
+    println!(" datapath that can report l_t, p_t, q_t can host MOCC)");
+}

@@ -1,0 +1,73 @@
+//! The full multi-objective pipeline on a trimmed budget: two-phase
+//! offline training over landmark objectives, then online adaptation to
+//! an unseen preference with requirement replay.
+//!
+//! ```text
+//! cargo run --release --example multi_objective
+//! ```
+
+use mocc::core::{convergence_iter, MoccAgent, MoccConfig, OnlineAdapter, Preference, TrainRegime};
+use mocc::netsim::{Scenario, ScenarioRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Trimmed two-phase offline training: ω = 10 landmarks (simplex
+    // step 1/6), short bootstrap, one traversal cycle.
+    let cfg = MoccConfig {
+        omega_step: 6,
+        boot_iters: 40,
+        traverse_iters: 2,
+        traverse_cycles: 2,
+        rollout_steps: 200,
+        episode_mis: 200,
+        ..MoccConfig::default()
+    };
+    let mut agent = MoccAgent::new(cfg, &mut rng);
+    println!(
+        "offline training over {} landmark objectives...",
+        mocc::core::landmark_count(cfg.omega_step)
+    );
+    let out = mocc::core::train_offline(
+        &mut agent,
+        ScenarioRange::training(),
+        TrainRegime::Transfer,
+        7,
+    );
+    println!(
+        "  {} iterations in {:.1}s (bootstrap 3 pivots + neighborhood traversal)",
+        out.iterations, out.wall_secs
+    );
+
+    // A new application with an unforeseen requirement arrives.
+    let new_pref = Preference::new(0.3, 0.55, 0.15);
+    let old_pref = Preference::new(0.67, 0.17, 0.17); // A served landmark.
+    println!("\nadapting online to unseen preference <0.30,0.55,0.15>...");
+    let mut adapter = OnlineAdapter::new(agent, vec![old_pref], 11);
+    let eval_sc = Scenario::single(4e6, 20, 600, 0.0, 120);
+    let curve = adapter.adapt(
+        new_pref,
+        ScenarioRange::training(),
+        30,
+        true, // requirement replay on
+        Some((old_pref, eval_sc, 10)),
+    );
+    for p in curve.iter().step_by(5) {
+        println!(
+            "  iter {:>3}: new-app reward {:.3}{}",
+            p.iter,
+            p.new_reward,
+            p.old_reward
+                .map(|r| format!("   old-app eval {r:.3}"))
+                .unwrap_or_default()
+        );
+    }
+    let rewards: Vec<f32> = curve.iter().map(|p| p.new_reward).collect();
+    println!(
+        "\nconvergence (95% of max gain) at iteration {:?}; replay pool now holds {} preferences",
+        convergence_iter(&rewards, 0.95),
+        adapter.pool.len()
+    );
+}

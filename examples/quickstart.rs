@@ -1,0 +1,57 @@
+//! Quickstart: train a small MOCC agent and drive a flow with it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Trains for a handful of PPO iterations on the paper's Table 3
+//! training ranges, registers two different application preferences
+//! with the same model, and shows the resulting behaviour difference on
+//! one fixed link.
+
+use mocc::core::{MoccAgent, MoccCc, MoccConfig, Preference};
+use mocc::netsim::{Scenario, ScenarioRange, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Build an agent (preference sub-network + 64/32-tanh trunk).
+    let cfg = MoccConfig {
+        rollout_steps: 400,
+        episode_mis: 400,
+        ..MoccConfig::default()
+    };
+    let mut agent = MoccAgent::new(cfg, &mut rng);
+
+    // 2. A short training run on randomized links (the full two-phase
+    //    pipeline lives in mocc_core::train_offline; this is the
+    //    one-objective warm-up for a fast demo).
+    println!("training (150 iterations on 1-5 Mbps random links)...");
+    let range = ScenarioRange::training();
+    for i in 0..150 {
+        let r =
+            mocc::core::train_iteration(&mut agent, Preference::throughput(), range, i, &mut rng);
+        if i % 30 == 0 {
+            println!("  iter {i:>3}: mean reward {r:.3}");
+        }
+    }
+
+    // 3. Deploy the same model with two different registered
+    //    preferences on one 4 Mbps / 20 ms link.
+    for (name, pref) in [
+        ("throughput <0.8,0.1,0.1>", Preference::throughput()),
+        ("latency    <0.1,0.8,0.1>", Preference::latency()),
+    ] {
+        let sc = Scenario::single(4e6, 20, 800, 0.0, 30);
+        let cc = MoccCc::new(&agent, pref, 1e6);
+        let res = Simulator::new(sc, vec![Box::new(cc)]).run();
+        let f = &res.flows[0];
+        println!(
+            "{name}: utilization {:.2}, mean RTT {:.1} ms, loss {:.3}",
+            f.utilization, f.mean_rtt_ms, f.loss_rate
+        );
+    }
+    println!("one model, two objectives — that is the MOCC property.");
+}

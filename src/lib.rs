@@ -1,0 +1,12 @@
+//! Umbrella crate for the MOCC reproduction workspace.
+//!
+//! Re-exports every sub-crate under a single name so that examples and
+//! integration tests can write `use mocc::core::...`. Downstream users
+//! normally depend on the individual crates directly.
+
+pub use mocc_apps as apps;
+pub use mocc_cc as cc;
+pub use mocc_core as core;
+pub use mocc_netsim as netsim;
+pub use mocc_nn as nn;
+pub use mocc_rl as rl;

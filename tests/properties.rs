@@ -1,0 +1,92 @@
+//! Property-based integration tests over the workspace invariants.
+
+use mocc::core::{landmark_count, landmarks, Preference};
+use mocc::netsim::cc::FixedRate;
+use mocc::netsim::metrics::jain_index;
+use mocc::netsim::{Scenario, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator conserves packets: acked + lost never exceeds
+    /// sent, for any link parameters and sending rate.
+    #[test]
+    fn packets_conserved(
+        bw_mbps in 1.0f64..40.0,
+        owd_ms in 5u64..100,
+        queue in 10usize..2000,
+        loss in 0.0f64..0.2,
+        rate_mbps in 0.5f64..60.0,
+    ) {
+        let sc = Scenario::single(bw_mbps * 1e6, owd_ms, queue, loss, 10);
+        let res = Simulator::new(sc, vec![Box::new(FixedRate::new(rate_mbps * 1e6))]).run();
+        let f = &res.flows[0];
+        prop_assert!(f.total_acked + f.total_lost <= f.total_sent);
+        prop_assert!(f.loss_rate >= 0.0 && f.loss_rate <= 1.0);
+        prop_assert!(f.utilization >= 0.0);
+    }
+
+    /// Delivered throughput never exceeds link capacity (no free
+    /// bandwidth), up to a 5% accounting tolerance on short runs.
+    #[test]
+    fn no_free_bandwidth(
+        bw_mbps in 1.0f64..30.0,
+        rate_mbps in 0.5f64..90.0,
+    ) {
+        let sc = Scenario::single(bw_mbps * 1e6, 10, 500, 0.0, 10);
+        let res = Simulator::new(sc, vec![Box::new(FixedRate::new(rate_mbps * 1e6))]).run();
+        prop_assert!(res.flows[0].throughput_bps <= bw_mbps * 1e6 * 1.05);
+    }
+
+    /// Mean RTT is never below the propagation floor.
+    #[test]
+    fn rtt_at_least_propagation(
+        owd_ms in 5u64..150,
+        rate_mbps in 0.5f64..20.0,
+    ) {
+        let sc = Scenario::single(20e6, owd_ms, 500, 0.0, 10);
+        let res = Simulator::new(sc, vec![Box::new(FixedRate::new(rate_mbps * 1e6))]).run();
+        let f = &res.flows[0];
+        if f.total_acked > 0 {
+            prop_assert!(f.mean_rtt_ms >= 2.0 * owd_ms as f64 - 1e-6);
+        }
+    }
+
+    /// Jain's index is always in (0, 1] and is exactly 1 for equal
+    /// allocations.
+    #[test]
+    fn jain_bounds(xs in proptest::collection::vec(0.0f64..100.0, 1..8)) {
+        let j = jain_index(&xs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn jain_equal_is_one(x in 0.1f64..100.0, n in 1usize..8) {
+        let xs = vec![x; n];
+        prop_assert!((jain_index(&xs) - 1.0).abs() < 1e-9);
+    }
+
+    /// Landmark generation: every point is interior, normalized, and
+    /// the count matches the closed form C(k-1, 2).
+    #[test]
+    fn landmark_invariants(k in 3usize..25) {
+        let pts = landmarks(k);
+        prop_assert_eq!(pts.len(), landmark_count(k));
+        for w in &pts {
+            prop_assert!(w.thr > 0.0 && w.lat > 0.0 && w.loss > 0.0);
+            prop_assert!((w.thr + w.lat + w.loss - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// Eq. 2 rewards are bounded by [0, 1] for in-range objectives.
+    #[test]
+    fn reward_bounded(
+        a in 0.01f32..1.0, b in 0.01f32..1.0, c in 0.01f32..1.0,
+        o1 in 0.0f32..1.0, o2 in 0.0f32..1.0, o3 in 0.0f32..1.0,
+    ) {
+        let w = Preference::new(a, b, c);
+        let r = w.reward(o1, o2, o3);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&r));
+    }
+}
