@@ -130,7 +130,7 @@ impl AppSource for RtcSource {
             } else {
                 st.backlog_bytes += st.frame_bytes;
             }
-            st.next_frame = st.next_frame + interval;
+            st.next_frame += interval;
         }
         let granted = st.backlog_bytes.min(max_bytes);
         st.backlog_bytes -= granted;

@@ -105,9 +105,9 @@ pub fn sort_objectives(points: &[Preference], k: usize, pivots: &[usize]) -> Vec
         if order.len() == before {
             // Disconnected leftovers (cannot happen on the simplex
             // lattice, but keep the loop total): append them directly.
-            for v in 0..n {
-                if !visited[v] {
-                    visited[v] = true;
+            for (v, seen) in visited.iter_mut().enumerate() {
+                if !*seen {
+                    *seen = true;
                     order.push(v);
                 }
             }

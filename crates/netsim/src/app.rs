@@ -68,7 +68,7 @@ impl PeriodicSource {
     fn produce_until(&mut self, now: SimTime) {
         while self.next_production <= now {
             self.backlog += self.bytes_per_interval;
-            self.next_production = self.next_production + self.interval;
+            self.next_production += self.interval;
         }
     }
 

@@ -115,8 +115,7 @@ impl Matrix {
         for r in 0..self.rows {
             let srow = self.row(r);
             let orow = other.row(r);
-            for k in 0..self.cols {
-                let a = srow[k];
+            for (k, &a) in srow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }

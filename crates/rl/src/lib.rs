@@ -4,7 +4,7 @@
 //! abstraction, [`Rollout`] storage with GAE(γ, λ) advantages, a
 //! diagonal-Gaussian [`GaussianPolicy`], the [`Ppo`] learner with the
 //! clipped surrogate and entropy bonus of Eqs. 3–5 of the paper, a
-//! [`Dqn`] baseline for the Fig. 18 ablation, and crossbeam-based
+//! [`Dqn`] baseline for the Fig. 18 ablation, and scoped-thread
 //! parallel rollout collection standing in for the paper's Ray/RLlib
 //! setup.
 //!

@@ -17,16 +17,40 @@ use serde::{Deserialize, Serialize};
 pub const LOG_STD_SLOT: usize = usize::MAX - 1;
 
 /// A diagonal-Gaussian policy with learned state-independent log-std.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(bound = "N: Serialize + for<'a> Deserialize<'a>")]
+#[derive(Debug, Clone)]
 pub struct GaussianPolicy<N: Network = Mlp> {
     /// The mean network (obs → scalar mean).
     pub net: N,
     /// Log standard deviation of the action distribution.
     pub log_std: f32,
-    /// Accumulated gradient of the log-std.
-    #[serde(skip)]
+    /// Accumulated gradient of the log-std (not serialized).
     pub g_log_std: f32,
+}
+
+// Hand-written impls: the vendored serde derive does not support
+// generic types (vendor/README.md), so the generic policy spells out
+// what `#[derive]` with `#[serde(bound = ...)]` and `#[serde(skip)]`
+// on `g_log_std` would generate.
+impl<N: Network + Serialize> Serialize for GaussianPolicy<N> {
+    fn to_value(&self) -> serde::Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("net".to_string(), self.net.to_value());
+        m.insert("log_std".to_string(), self.log_std.to_value());
+        serde::Value::Obj(m)
+    }
+}
+
+impl<'de, N: Network + for<'a> Deserialize<'a>> Deserialize<'de> for GaussianPolicy<N> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Obj(m) => Ok(GaussianPolicy {
+                net: serde::from_field(m, "net", "GaussianPolicy")?,
+                log_std: serde::from_field(m, "log_std", "GaussianPolicy")?,
+                g_log_std: 0.0,
+            }),
+            _ => Err(serde::Error::custom("expected object for GaussianPolicy")),
+        }
+    }
 }
 
 impl GaussianPolicy<Mlp> {

@@ -74,8 +74,7 @@ pub struct PpoStats {
 
 /// An actor-critic PPO learner, generic over the network architecture
 /// (MOCC plugs in its preference-sub-network composite here).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(bound = "N: Serialize + for<'a> Deserialize<'a>")]
+#[derive(Debug, Clone)]
 pub struct Ppo<N: Network = Mlp> {
     /// The Gaussian actor.
     pub policy: GaussianPolicy<N>,
@@ -85,6 +84,35 @@ pub struct Ppo<N: Network = Mlp> {
     pub cfg: PpoConfig,
     opt_pi: Adam,
     opt_v: Adam,
+}
+
+// Hand-written impls: the vendored serde derive does not support
+// generic types (vendor/README.md).
+impl<N: Network + Serialize> Serialize for Ppo<N> {
+    fn to_value(&self) -> serde::Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("policy".to_string(), self.policy.to_value());
+        m.insert("value".to_string(), self.value.to_value());
+        m.insert("cfg".to_string(), self.cfg.to_value());
+        m.insert("opt_pi".to_string(), self.opt_pi.to_value());
+        m.insert("opt_v".to_string(), self.opt_v.to_value());
+        serde::Value::Obj(m)
+    }
+}
+
+impl<'de, N: Network + Serialize + for<'a> Deserialize<'a>> Deserialize<'de> for Ppo<N> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Obj(m) => Ok(Ppo {
+                policy: serde::from_field(m, "policy", "Ppo")?,
+                value: serde::from_field(m, "value", "Ppo")?,
+                cfg: serde::from_field(m, "cfg", "Ppo")?,
+                opt_pi: serde::from_field(m, "opt_pi", "Ppo")?,
+                opt_v: serde::from_field(m, "opt_v", "Ppo")?,
+            }),
+            _ => Err(serde::Error::custom("expected object for Ppo")),
+        }
+    }
 }
 
 impl Ppo<Mlp> {
@@ -209,10 +237,10 @@ impl<N: Network> Ppo<N> {
                     let unclipped = ratio * adv;
                     let rc = ratio.clamp(1.0 - self.cfg.clip_eps, 1.0 + self.cfg.clip_eps);
                     let clipped_obj = rc * adv;
-                    // Gradient of −min(unclipped, clipped) w.r.t. logp.
-                    let g_logp = if unclipped <= clipped_obj {
-                        -adv * ratio
-                    } else if (ratio - rc).abs() < 1e-12 {
+                    // Gradient of −min(unclipped, clipped) w.r.t. logp:
+                    // the unclipped branch is active when it is the min
+                    // or when the clamp did not bite (ratio == rc).
+                    let g_logp = if unclipped <= clipped_obj || (ratio - rc).abs() < 1e-12 {
                         -adv * ratio
                     } else {
                         clipped += 1;
@@ -325,8 +353,8 @@ pub fn collect_rollout<N: Network>(
     rollout
 }
 
-/// Collects `n_envs` rollouts in parallel with crossbeam scoped threads
-/// (the paper's Ray/RLlib parallel-training substitute, §5).
+/// Collects `n_envs` rollouts in parallel with scoped threads (the
+/// paper's Ray/RLlib parallel-training substitute, §5).
 pub fn collect_rollouts_parallel<N, F>(
     ppo: &Ppo<N>,
     make_env: F,
@@ -352,19 +380,21 @@ where
     let policy = &ppo.policy;
     let value = &ppo.value;
     let make_env = &make_env;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_envs)
             .map(|i| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut env = make_env(i);
                     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9e37));
                     collect_rollout(policy, value, env.as_mut(), steps, &mut rng)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rollout worker panicked"))
+            .collect()
     })
-    .expect("rollout worker panicked")
 }
 
 #[cfg(test)]

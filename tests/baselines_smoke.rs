@@ -1,0 +1,84 @@
+//! Smoke tests over the public `mocc::cc` API: every baseline named in
+//! the ISSUE (and every name the factory advertises) must construct and
+//! move traffic through the simulator. Guards the constructors against
+//! silent rot — a baseline that compiles but panics on construction or
+//! stalls on a clean link would otherwise only surface deep inside a
+//! figure run.
+
+use mocc::cc;
+use mocc::netsim::{Scenario, Simulator};
+
+/// The canonical scheme names; `pcc` is accepted as an alias family
+/// covered by the two concrete PCC variants the factory exposes.
+const EXPECTED: &[&str] = &[
+    "cubic",
+    "bbr",
+    "copa",
+    "vegas",
+    "pcc-allegro",
+    "pcc-vivace",
+    "orca",
+];
+
+#[test]
+fn factory_covers_expected_baselines() {
+    for name in EXPECTED {
+        let cc = cc::by_name(name).unwrap_or_else(|| panic!("factory lost baseline `{name}`"));
+        assert_eq!(cc.name(), *name, "constructor name drifted for `{name}`");
+    }
+    // The advertised list and the factory agree both ways.
+    for name in cc::BASELINES {
+        assert!(
+            cc::by_name(name).is_some(),
+            "BASELINES lists `{name}` but by_name cannot build it"
+        );
+    }
+    assert_eq!(
+        cc::BASELINES.len(),
+        EXPECTED.len(),
+        "BASELINES gained or lost a scheme; update this smoke test deliberately"
+    );
+}
+
+#[test]
+fn typed_constructors_match_factory_names() {
+    // The concrete types remain directly constructible (public API).
+    let typed: Vec<Box<dyn mocc::netsim::CongestionControl>> = vec![
+        Box::new(cc::Cubic::new()),
+        Box::new(cc::Vegas::new()),
+        Box::new(cc::Bbr::new()),
+        Box::new(cc::Copa::new()),
+        Box::new(cc::Pcc::allegro()),
+        Box::new(cc::Pcc::vivace()),
+        Box::new(cc::OrcaLike::new()),
+    ];
+    for c in &typed {
+        assert!(
+            cc::BASELINES.contains(&c.name()),
+            "typed constructor `{}` is not advertised in BASELINES",
+            c.name()
+        );
+    }
+}
+
+/// Every baseline drives real packets on a clean 10 Mbps link.
+#[test]
+fn every_baseline_moves_traffic() {
+    for name in cc::BASELINES {
+        let sc = Scenario::single(10e6, 20, 500, 0.0, 10);
+        let cc = cc::by_name(name).unwrap();
+        let res = Simulator::new(sc, vec![cc]).run();
+        let f = &res.flows[0];
+        assert!(
+            f.total_acked > 0,
+            "baseline `{name}` delivered zero packets"
+        );
+        // No loss-rate bar: PCC's probing intentionally overdrives the
+        // queue early on, so loss alone says nothing about rot here.
+        assert!(
+            f.utilization > 0.05,
+            "baseline `{name}` utilization {:.3} is implausibly low",
+            f.utilization
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Vendored, dependency-free subset of `criterion`.
+//!
+//! A minimal `harness = false` benchmark runner for offline builds
+//! (`vendor/README.md`): measures each benchmark over a fixed number of
+//! timed samples after a short warm-up and prints mean ± spread to
+//! stdout. No statistical analysis, plots, or baseline comparisons.
+//!
+//! Honors `--bench` on the command line (substring filter over
+//! benchmark names) so `cargo bench some_name` narrows the run, and
+//! ignores harness flags it does not understand.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional non-flag args act as a name filter, like real
+        // criterion benches invoked via `cargo bench <filter>`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warm-up: one untimed pass.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        report(name, &samples);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn report(name: &str, per_iter_secs: &[f64]) {
+    if per_iter_secs.is_empty() {
+        println!("{name:40} no samples");
+        return;
+    }
+    let mean = per_iter_secs.iter().sum::<f64>() / per_iter_secs.len() as f64;
+    let min = per_iter_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_secs
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// A sub-scope of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, keeping its output alive via
+    /// [`black_box`] so the work is not optimized away. The inner
+    /// iteration count adapts to the routine's cost: fast routines are
+    /// batched until a sample is measurably long, slow routines (whole
+    /// training iterations) run once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const TARGET: Duration = Duration::from_millis(5);
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        self.elapsed += first;
+        self.iters += 1;
+        if first < TARGET {
+            let extra = (TARGET.as_nanos() / first.as_nanos().max(1)).clamp(1, 100_000) as u64;
+            let start = Instant::now();
+            for _ in 0..extra {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += extra;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions; both the positional and
+/// the `name = ...; config = ...; targets = ...` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 3));
+        g.finish();
+    }
+
+    #[test]
+    fn runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(3);
+        c.filter = None; // test harness args must not filter benches
+        quick(&mut c);
+    }
+}

@@ -1,0 +1,395 @@
+//! Vendored, dependency-free subset of `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the external crates it uses (`vendor/README.md` explains the
+//! policy). This shim replaces serde's visitor architecture with a
+//! simple JSON-like [`Value`] tree:
+//!
+//! - [`Serialize`] renders a type into a [`Value`];
+//! - [`Deserialize`] reconstructs a type from a [`Value`];
+//! - the derive macros (re-exported from the vendored `serde_derive`)
+//!   generate both for named-field structs and unit enums;
+//! - `serde_json` (also vendored) converts [`Value`] to and from JSON
+//!   text.
+//!
+//! The `'de` lifetime on [`Deserialize`] is phantom — it exists so that
+//! source-level bounds like `for<'a> Deserialize<'a>` keep compiling
+//! against the shim. Zero-copy deserialization is not supported.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the intermediate representation between
+/// Rust types and serialized text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Numeric coercion: any numeric variant as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            // JSON has no NaN/Infinity literal; non-finite floats
+            // serialize as null and come back as NaN.
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any integral-valued variant as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any non-negative integral variant as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`]. The `'de` lifetime is phantom
+/// (see the crate docs).
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field of this type is absent, or
+    /// `None` to make absence an error. Only `Option` overrides this
+    /// (absent → `None`, matching serde). A *present* `null` is
+    /// different — it still goes through [`Self::from_value`], so non-finite
+    /// floats (serialized as `null`) round-trip while a *missing*
+    /// float field fails loudly instead of loading as NaN.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserializes one struct field by key; a missing key is an error
+/// unless the field type provides an [`Deserialize::absent`] value.
+pub fn from_field<T: for<'a> Deserialize<'a>>(
+    obj: &BTreeMap<String, Value>,
+    key: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    match obj.get(key) {
+        Some(v) => T::from_value(v).map_err(|e| Error(format!("{type_name}.{key}: {e}"))),
+        None => T::absent().ok_or_else(|| Error(format!("{type_name}: missing field `{key}`"))),
+    }
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty => $variant:ident / $as:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as _)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .$as()
+                    .ok_or_else(|| Error(format!(concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!(concat!(stringify!($t), " out of range: {}"), raw)))
+            }
+        }
+    )*};
+}
+
+impl_int!(
+    i8 => I64 / as_i64,
+    i16 => I64 / as_i64,
+    i32 => I64 / as_i64,
+    i64 => I64 / as_i64,
+    isize => I64 / as_i64,
+    u8 => U64 / as_u64,
+    u16 => U64 / as_u64,
+    u32 => U64 / as_u64,
+    u64 => U64 / as_u64,
+    usize => U64 / as_u64,
+);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() { Value::F64(v) } else { Value::Null }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error(format!(concat!("expected ", stringify!($t), ", got {:?}"), v)))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_seq {
+    ($($container:ident),*) => {$(
+        impl<T: Serialize> Serialize for $container<T> {
+            fn to_value(&self) -> Value {
+                Value::Arr(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+        impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for $container<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) => items.iter().map(T::from_value).collect(),
+                    _ => Err(Error(format!("expected array, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_seq!(Vec, VecDeque);
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + std::fmt::Debug, const N: usize> Deserialize<'de>
+    for [T; N]
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error(format!("expected tuple array, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Map key types, rendered as JSON object keys (strings) the way
+/// `serde_json` stringifies integer-keyed maps.
+pub trait MapKey: Sized + Ord + std::hash::Hash {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse()
+                    .map_err(|_| Error(format!(concat!("bad ", stringify!($t), " map key: {}"), s)))
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_map {
+    ($($map:ident),*) => {$(
+        impl<K: MapKey, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                Value::Obj(
+                    self.iter()
+                        .map(|(k, v)| (k.to_key(), v.to_value()))
+                        .collect(),
+                )
+            }
+        }
+        impl<'de, K: MapKey, V: for<'a> Deserialize<'a>> Deserialize<'de> for $map<K, V> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Obj(m) => m
+                        .iter()
+                        .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                        .collect(),
+                    _ => Err(Error(format!("expected object, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_map!(BTreeMap, HashMap);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

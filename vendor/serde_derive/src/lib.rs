@@ -1,0 +1,357 @@
+//! Vendored, dependency-free subset of `serde_derive`.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the handful of external crates it needs (see
+//! `vendor/README.md`). This proc-macro crate implements just enough of
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the types in
+//! this repository:
+//!
+//! - non-generic structs with named fields,
+//! - non-generic enums whose variants are all unit variants,
+//! - the `#[serde(skip)]` field attribute (skipped on serialize,
+//!   `Default::default()` on deserialize).
+//!
+//! Generic types (e.g. `GaussianPolicy<N>`) implement the traits by
+//! hand in their defining crate. The macro parses the raw token stream
+//! directly — no `syn`/`quote` — and emits the impl as a string, which
+//! keeps the crate buildable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a braced struct.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of the deriving type.
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields. One field serializes
+    /// transparently as the inner value (serde's newtype form); more
+    /// serialize as an array.
+    Tuple(usize),
+    /// Enum with unit variants only.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Returns true when an attribute group (the `[...]` after `#`) is a
+/// `serde(...)` attribute containing the word `skip`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parses a derive input token stream into name + shape.
+///
+/// Panics (compile error) on shapes the shim does not support, with a
+/// message pointing at the hand-impl escape hatch.
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and doc comments, and the
+    // visibility qualifier.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` etc: a parenthesized restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: unexpected derive input start: {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected type name, got {other:?}"),
+    };
+
+    // Reject generics: the shim cannot emit correct bounds. The two
+    // generic types in-tree hand-implement the traits instead.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde shim: generic type `{name}` is not supported by the vendored derive; \
+                 implement Serialize/Deserialize by hand (see crates/rl/src/policy.rs)"
+            );
+        }
+    }
+
+    let (body, is_tuple) = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break (g, false),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break (g, true)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde shim: unit struct `{name}` is not supported")
+            }
+            Some(_) => continue, // e.g. a `where` clause would land here
+            None => panic!("serde shim: no body found for `{name}`"),
+        }
+    };
+
+    let shape = match (kind.as_str(), is_tuple) {
+        ("struct", false) => Shape::Struct(parse_struct_fields(body.stream(), &name)),
+        ("struct", true) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", _) => Shape::Enum(parse_unit_variants(body.stream(), &name)),
+        (other, _) => panic!("serde shim: cannot derive for `{other}`"),
+    };
+    Input { name, shape }
+}
+
+/// Parses `field: Type, ...` pairs, tracking `#[serde(skip)]`.
+fn parse_struct_fields(body: TokenStream, type_name: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Attributes before the field.
+        let mut skip = false;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        skip |= attr_is_serde_skip(&g);
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected field name in `{type_name}`, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `<`/`>` are bare puncts in the token stream, so commas inside
+        // `BTreeMap<String, V>` must not terminate the field.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body: commas at angle-bracket
+/// depth 0 separate fields (commas inside `Foo<A, B>` do not).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+/// Parses enum variants, rejecting any that carry data.
+fn parse_unit_variants(body: TokenStream, type_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Attributes / doc comments before the variant.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected variant in `{type_name}`, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde shim: enum `{type_name}` variant `{name}` carries data; \
+                 only unit variants are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: skip to the next comma.
+                for t in iter.by_ref() {
+                    if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            None => {
+                variants.push(name);
+                break;
+            }
+            other => panic!("serde shim: unexpected token after `{name}`: {other:?}"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Obj(m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!("::serde::Value::Str(::std::string::String::from(match self {{\n{arms}}}))")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::from_field(m, \"{n}\", \"{name}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "let m = match v {{\n\
+                 ::serde::Value::Obj(m) => m,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"expected object for {name}\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = match v {{\n\
+                 ::serde::Value::Arr(items) if items.len() == {n} => items,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"expected {n}-element array for {name}\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let s = match v {{\n\
+                 ::serde::Value::Str(s) => s.as_str(),\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"expected string for {name}\")),\n\
+                 }};\n\
+                 match s {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 &format!(\"unknown {name} variant: {{other}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde shim: generated Deserialize impl failed to parse")
+}
