@@ -6,72 +6,78 @@
 //! latency preference <0.1, 0.8, 0.1> over the same sweeps. The sweep
 //! values go far beyond the training ranges (Table 3), probing
 //! robustness.
+//!
+//! Driven by the `mocc-eval` sweep harness: each panel's parameter
+//! sweep is one [`SweepSpec`] executed in parallel by a [`SweepRunner`]
+//! (worker count auto-detected; override with `MOCC_SWEEP_THREADS`).
 
 use mocc_bench::{header, row, run_single, standard_schemes, Scheme};
 use mocc_core::Preference;
+use mocc_eval::{FlowLoad, SweepCell, SweepRunner, SweepSpec, TraceShape};
 use mocc_netsim::Scenario;
 
-/// One sweep: a label, the swept values, and a scenario builder.
-struct Sweep {
-    name: &'static str,
-    values: Vec<f64>,
-    build: fn(f64, u64) -> Scenario,
+/// The fixed operating point each sweep varies one axis away from.
+fn base_spec(dur: u64) -> SweepSpec {
+    SweepSpec {
+        bandwidth_mbps: vec![20.0],
+        owd_ms: vec![20],
+        queue_pkts: vec![1000],
+        loss: vec![0.0],
+        shapes: vec![TraceShape::Constant],
+        loads: vec![FlowLoad::Steady(1)],
+        duration_s: dur,
+        mss_bytes: 1500,
+        seed: 7,
+        // The learning agents' deployment MI convention, applied to
+        // every scheme so interval boundaries are comparable.
+        agent_mi: true,
+    }
 }
 
-fn sweeps(full: bool) -> Vec<Sweep> {
-    let dur: u64 = if full { 60 } else { 30 };
-    let _ = dur;
-    vec![
-        Sweep {
-            name: "bandwidth Mbps",
-            values: vec![10.0, 20.0, 30.0, 40.0, 50.0],
-            build: |v, d| Scenario::single(v * 1e6, 20, 1000, 0.0, d),
-        },
-        Sweep {
-            name: "one-way latency ms",
-            values: vec![10.0, 40.0, 70.0, 100.0, 130.0, 160.0, 200.0],
-            build: |v, d| Scenario::single(20e6, v as u64, 1000, 0.0, d),
-        },
-        Sweep {
-            name: "random loss %",
-            values: vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
-            build: |v, d| Scenario::single(20e6, 20, 1000, v / 100.0, d),
-        },
-        Sweep {
-            name: "buffer pkts",
-            values: vec![500.0, 1500.0, 2500.0, 3500.0, 5000.0],
-            build: |v, d| Scenario::single(20e6, 20, v as usize, 0.0, d),
-        },
-    ]
+/// One sweep: a label, the printed axis values, and the spec.
+fn sweeps(dur: u64) -> Vec<(&'static str, Vec<f64>, SweepSpec)> {
+    let bw = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+    let owd = vec![10.0, 40.0, 70.0, 100.0, 130.0, 160.0, 200.0];
+    let loss_pct = vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let buf = vec![500.0, 1500.0, 2500.0, 3500.0, 5000.0];
+    let mut out = Vec::new();
+    let mut s = base_spec(dur);
+    s.bandwidth_mbps = bw.clone();
+    out.push(("bandwidth Mbps", bw, s));
+    let mut s = base_spec(dur);
+    s.owd_ms = owd.iter().map(|&v| v as u64).collect();
+    out.push(("one-way latency ms", owd, s));
+    let mut s = base_spec(dur);
+    s.loss = loss_pct.iter().map(|&v| v / 100.0).collect();
+    out.push(("random loss %", loss_pct, s));
+    let mut s = base_spec(dur);
+    s.queue_pkts = buf.iter().map(|&v| v as usize).collect();
+    out.push(("buffer pkts", buf, s));
+    out
 }
 
-fn run_panel(metric: &str, pref: Preference, full: bool) {
-    let dur: u64 = if full { 60 } else { 30 };
-    for sweep in sweeps(full) {
-        println!("\n-- sweep: {} ({metric}) --", sweep.name);
+fn run_panel(metric: &str, pref: Preference, runner: SweepRunner, dur: u64) {
+    for (name, values, spec) in sweeps(dur) {
+        println!("\n-- sweep: {name} ({metric}) --");
         header(
             "scheme",
-            &sweep
-                .values
-                .iter()
-                .map(|v| format!("{v}"))
-                .collect::<Vec<_>>(),
+            &values.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
             9,
         );
         for scheme in standard_schemes(pref) {
-            // For the latency panels the interesting MOCC variant is the
-            // latency-preferring one; for utilization the thr one. The
-            // lineup already carries `pref`, so nothing to swap here.
-            let vals: Vec<f64> = sweep
-                .values
+            let factory = |cell: &SweepCell| {
+                let initial = 0.3 * cell.scenario.link.trace.max_rate();
+                (0..cell.scenario.flows.len())
+                    .map(|_| scheme.make(initial))
+                    .collect::<Vec<_>>()
+            };
+            let report = runner.run(&spec, &scheme.label(), &factory);
+            let vals: Vec<f64> = report
+                .cells
                 .iter()
-                .map(|&v| {
-                    let sc = (sweep.build)(v, dur);
-                    let f = run_single(&scheme, sc);
-                    match metric {
-                        "utilization" => f.utilization.min(1.0),
-                        _ => f.latency_ratio,
-                    }
+                .map(|c| match metric {
+                    "utilization" => c.utilization.min(1.0),
+                    _ => c.latency_ratio,
                 })
                 .collect();
             row(&scheme.label(), &vals, 9, 3);
@@ -81,16 +87,23 @@ fn run_panel(metric: &str, pref: Preference, full: bool) {
 
 fn main() {
     let full = mocc_bench::full_scale();
-    // Warm the model caches before timing-sensitive output.
+    let dur: u64 = if full { 60 } else { 30 };
+    // Warm the model caches before the parallel sweep workers race to
+    // load them.
     let _ = mocc_bench::trained_mocc();
     let _ = mocc_bench::trained_aurora("thr", Preference::throughput());
     let _ = mocc_bench::trained_aurora("lat", Preference::latency());
+    let runner = SweepRunner::auto();
+    println!(
+        "(sweeps sharded over {} worker threads; set MOCC_SWEEP_THREADS to override)",
+        runner.threads()
+    );
 
-    println!("== Figure 5(a-d): link utilization, MOCC preference <0.8,0.1,0.1> ==");
-    run_panel("utilization", Preference::throughput(), full);
+    println!("\n== Figure 5(a-d): link utilization, MOCC preference <0.8,0.1,0.1> ==");
+    run_panel("utilization", Preference::throughput(), runner, dur);
 
     println!("\n== Figure 5(e-h): latency ratio, MOCC preference <0.1,0.8,0.1> ==");
-    run_panel("latency", Preference::latency(), full);
+    run_panel("latency", Preference::latency(), runner, dur);
 
     // Headline comparisons the paper calls out in §6.1.
     println!("\n== headline checks ==");

@@ -16,7 +16,6 @@ use mocc_core::{
 };
 use mocc_netsim::cc::CongestionControl;
 use mocc_netsim::scenario::MiMode;
-use mocc_netsim::time::SimDuration;
 use mocc_netsim::{FlowResult, MiRecord, Scenario, ScenarioRange, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,11 +161,11 @@ pub fn standard_schemes(mocc_pref: Preference) -> Vec<Scheme> {
     ]
 }
 
-/// Applies the learning agents' monitor-interval convention (2 × base
-/// RTT, clamped to [10 ms, 200 ms]) to every flow of a scenario so
+/// Applies the learning agents' monitor-interval convention (see
+/// [`mocc_netsim::LinkSpec::agent_mi`]) to every flow of a scenario so
 /// deployment matches training.
 pub fn with_agent_mi(mut sc: Scenario) -> Scenario {
-    let mi = SimDuration((2 * sc.link.base_rtt().0).clamp(10_000_000, 200_000_000));
+    let mi = sc.link.agent_mi();
     for f in &mut sc.flows {
         f.mi = MiMode::Fixed(mi);
     }

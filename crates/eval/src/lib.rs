@@ -1,0 +1,47 @@
+//! # mocc-eval — parallel scenario-sweep evaluation harness
+//!
+//! The paper's headline claims rest on evaluating controllers across a
+//! large matrix of network conditions (Table 3: bandwidth × RTT × queue
+//! × loss). This crate turns that matrix into a first-class,
+//! deterministic subsystem:
+//!
+//! - [`SweepSpec`] expands six axes (bandwidth, one-way delay, queue,
+//!   loss, trace shape, flow load) into an ordered list of seeded
+//!   [`Scenario`]s ([`SweepCell`]s);
+//! - [`SweepRunner`] shards the cells across `std::thread::scope`
+//!   workers (auto-detected count, `MOCC_SWEEP_THREADS` override) and
+//!   runs any [`CongestionControl`] factory on each;
+//! - [`SweepReport`] aggregates per-cell [`MonitorStats`]-derived
+//!   metrics (goodput, mean/p95 RTT, loss, utilization, a scalar
+//!   utility) and serializes to **canonical JSON** — two runs of the
+//!   same spec are byte-identical regardless of thread count, the
+//!   property the golden-trace regression tests build on.
+//!
+//! [`Scenario`]: mocc_netsim::Scenario
+//! [`CongestionControl`]: mocc_netsim::cc::CongestionControl
+//! [`MonitorStats`]: mocc_netsim::cc::MonitorStats
+//!
+//! ## Example
+//!
+//! ```
+//! use mocc_eval::{SweepRunner, SweepSpec};
+//!
+//! // CUBIC over a 2-cell bandwidth sweep, on every core.
+//! let mut spec = SweepSpec::single_cell();
+//! spec.bandwidth_mbps = vec![5.0, 10.0];
+//! spec.duration_s = 5;
+//! let report = SweepRunner::auto().run_baseline(&spec, "cubic");
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.summary.mean_utilization > 0.5);
+//! // Canonical JSON: byte-identical for any worker count.
+//! let a = SweepRunner::with_threads(1).run_baseline(&spec, "cubic");
+//! assert_eq!(a.to_canonical_json(), report.to_canonical_json());
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{round6, CellReport, SweepReport, SweepSummary};
+pub use runner::{run_cell, BaselineFactory, CellFactory, SweepRunner, THREADS_ENV};
+pub use spec::{cell_seed, FlowLoad, SweepCell, SweepSpec, TraceShape};

@@ -1,0 +1,218 @@
+//! The sharded sweep executor.
+//!
+//! A [`SweepRunner`] expands a [`SweepSpec`] and distributes the cells
+//! over `std::thread::scope` workers pulling from a shared atomic work
+//! queue. Each cell is simulated independently with its own derived
+//! seed, so the *execution* order is irrelevant: results are slotted
+//! back by cell index and the assembled [`SweepReport`] is identical —
+//! byte for byte in canonical JSON — whatever the worker count.
+//!
+//! Worker count resolution, highest priority first:
+//! 1. [`SweepRunner::with_threads`],
+//! 2. the `MOCC_SWEEP_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use crate::report::{CellReport, SweepReport};
+use crate::spec::{SweepCell, SweepSpec};
+use mocc_netsim::cc::CongestionControl;
+use mocc_netsim::Simulator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the auto-detected worker count.
+pub const THREADS_ENV: &str = "MOCC_SWEEP_THREADS";
+
+/// Builds the controllers for one cell — one per flow of the cell's
+/// scenario, in flow order. Shared by reference across workers, so it
+/// must be [`Sync`].
+pub trait CellFactory: Sync {
+    /// Instantiates one controller per flow of `cell`.
+    fn make(&self, cell: &SweepCell) -> Vec<Box<dyn CongestionControl>>;
+}
+
+impl<F> CellFactory for F
+where
+    F: Fn(&SweepCell) -> Vec<Box<dyn CongestionControl>> + Sync,
+{
+    fn make(&self, cell: &SweepCell) -> Vec<Box<dyn CongestionControl>> {
+        self(cell)
+    }
+}
+
+/// A factory building the named `mocc-cc` baseline for every flow.
+///
+/// # Panics
+///
+/// [`CellFactory::make`] panics if the name is unknown to
+/// [`mocc_cc::by_name`].
+#[derive(Debug, Clone)]
+pub struct BaselineFactory {
+    name: String,
+}
+
+impl BaselineFactory {
+    /// Creates a factory for the named baseline scheme.
+    pub fn new(name: &str) -> Self {
+        BaselineFactory {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl CellFactory for BaselineFactory {
+    fn make(&self, cell: &SweepCell) -> Vec<Box<dyn CongestionControl>> {
+        (0..cell.scenario.flows.len())
+            .map(|_| mocc_cc::by_name(&self.name).expect("known baseline"))
+            .collect()
+    }
+}
+
+/// Parallel executor for sweep specs. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with the worker count resolved from the environment
+    /// (`MOCC_SWEEP_THREADS`) or the machine's available parallelism.
+    pub fn auto() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        SweepRunner { threads }
+    }
+
+    /// A runner with an explicit worker count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of `spec` under controllers from `factory` and
+    /// returns the aggregated report labelled with `controller`.
+    pub fn run(
+        &self,
+        spec: &SweepSpec,
+        controller: &str,
+        factory: &dyn CellFactory,
+    ) -> SweepReport {
+        let cells = spec.expand();
+        let n = cells.len();
+        let workers = self.threads.min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; n]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = run_cell(&cells[i], factory);
+                    slots.lock().expect("slot lock")[i] = Some(report);
+                });
+            }
+        });
+        let reports: Vec<CellReport> = slots
+            .into_inner()
+            .expect("slot lock")
+            .into_iter()
+            .map(|r| r.expect("every cell produced a report"))
+            .collect();
+        SweepReport::new(controller, spec.seed, spec.duration_s, reports)
+    }
+
+    /// Convenience: runs a named `mocc-cc` baseline over the spec.
+    pub fn run_baseline(&self, spec: &SweepSpec, name: &str) -> SweepReport {
+        self.run(spec, name, &BaselineFactory::new(name))
+    }
+}
+
+/// Simulates one cell to its horizon and reduces it to metrics.
+pub fn run_cell(cell: &SweepCell, factory: &dyn CellFactory) -> CellReport {
+    let ccs = factory.make(cell);
+    let res = Simulator::new(cell.scenario.clone(), ccs).run();
+    CellReport::from_sim(cell, &res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FlowLoad, TraceShape};
+    use mocc_netsim::cc::Aimd;
+
+    fn aimd_factory(cell: &SweepCell) -> Vec<Box<dyn CongestionControl>> {
+        (0..cell.scenario.flows.len())
+            .map(|_| Box::new(Aimd::new()) as Box<dyn CongestionControl>)
+            .collect()
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            bandwidth_mbps: vec![4.0, 8.0],
+            owd_ms: vec![10, 30],
+            queue_pkts: vec![100],
+            loss: vec![0.0, 0.01],
+            shapes: vec![TraceShape::Constant],
+            loads: vec![FlowLoad::Steady(1)],
+            duration_s: 5,
+            ..SweepSpec::single_cell()
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        let spec = small_spec();
+        let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &aimd_factory);
+        let parallel = SweepRunner::with_threads(4).run(&spec, "aimd", &aimd_factory);
+        assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
+    }
+
+    #[test]
+    fn runner_covers_every_cell_in_order() {
+        let spec = small_spec();
+        let rep = SweepRunner::with_threads(3).run(&spec, "aimd", &aimd_factory);
+        assert_eq!(rep.cells.len(), spec.cell_count());
+        for (i, c) in rep.cells.iter().enumerate() {
+            assert_eq!(c.index, i as u64);
+            assert!(c.goodput_mbps > 0.0, "cell {i} produced no goodput");
+        }
+        assert_eq!(rep.summary.cells, spec.cell_count() as u64);
+    }
+
+    #[test]
+    fn baseline_factory_runs_cubic() {
+        let mut spec = small_spec();
+        spec.bandwidth_mbps = vec![8.0];
+        spec.owd_ms = vec![10];
+        spec.loss = vec![0.0];
+        let rep = SweepRunner::with_threads(2).run_baseline(&spec, "cubic");
+        assert_eq!(rep.controller, "cubic");
+        assert!(rep.cells[0].utilization > 0.5, "{:?}", rep.cells[0]);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+        assert!(SweepRunner::auto().threads() >= 1);
+    }
+}

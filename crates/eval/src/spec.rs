@@ -1,0 +1,359 @@
+//! Sweep-matrix specification and deterministic expansion.
+//!
+//! A [`SweepSpec`] is a Cartesian product over six axes — bandwidth,
+//! one-way delay, queue size, random loss, bottleneck trace shape, and
+//! flow load — plus global knobs (duration, MSS, base seed, monitor
+//! interval convention). [`SweepSpec::expand`] flattens the product
+//! into an ordered list of [`SweepCell`]s, each carrying a fully
+//! self-describing [`Scenario`] with a seed derived deterministically
+//! from the base seed and the cell index. Two expansions of the same
+//! spec are identical, which is the foundation of the golden-trace
+//! regression tests.
+
+use mocc_netsim::time::SimDuration;
+use mocc_netsim::{BandwidthTrace, FlowSpec, LinkSpec, MiMode, Scenario};
+
+/// Shape of the bottleneck bandwidth trace in a sweep cell. The cell's
+/// bandwidth value is always the trace's *peak* rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceShape {
+    /// Constant rate.
+    Constant,
+    /// Square wave between 50 % and 100 % of the cell bandwidth,
+    /// holding each level for `period_s` seconds.
+    Square {
+        /// Seconds per level.
+        period_s: f64,
+    },
+    /// Oscillating staircase between 50 % and 100 % of the cell
+    /// bandwidth: `steps` equal steps up, then down, `dwell_s` seconds
+    /// per level (see [`BandwidthTrace::oscillating`]).
+    Oscillating {
+        /// Steps per ramp.
+        steps: usize,
+        /// Seconds per level.
+        dwell_s: f64,
+    },
+}
+
+impl TraceShape {
+    /// Canonical short label used in reports (stable across versions;
+    /// golden fixtures depend on it).
+    pub fn label(&self) -> String {
+        match self {
+            TraceShape::Constant => "constant".to_string(),
+            TraceShape::Square { period_s } => format!("square:{period_s}"),
+            TraceShape::Oscillating { steps, dwell_s } => format!("osc:{steps}x{dwell_s}"),
+        }
+    }
+
+    fn build(&self, peak_bps: f64, dur_s: u64) -> BandwidthTrace {
+        let total = dur_s as f64;
+        match *self {
+            TraceShape::Constant => BandwidthTrace::constant(peak_bps),
+            TraceShape::Square { period_s } => {
+                BandwidthTrace::square_wave(0.5 * peak_bps, peak_bps, period_s, total)
+            }
+            TraceShape::Oscillating { steps, dwell_s } => {
+                BandwidthTrace::oscillating(0.5 * peak_bps, peak_bps, steps, dwell_s, total)
+            }
+        }
+    }
+}
+
+/// Flow population of a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowLoad {
+    /// `n` greedy flows starting together at t = 0.
+    Steady(usize),
+    /// One greedy flow under test plus `n` on/off cross-traffic flows.
+    /// Cross flow `i` starts at `i + 1` seconds with 2 s ON / 2 s OFF
+    /// windows, each producing at half the cell bandwidth divided by
+    /// the number of cross flows.
+    OnOffCross(usize),
+}
+
+impl FlowLoad {
+    /// Canonical short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            FlowLoad::Steady(n) => format!("steady:{n}"),
+            FlowLoad::OnOffCross(n) => format!("onoff:{n}"),
+        }
+    }
+
+    /// Total number of flows (and therefore controllers) in the cell.
+    pub fn flow_count(&self) -> usize {
+        match *self {
+            FlowLoad::Steady(n) => n.max(1),
+            FlowLoad::OnOffCross(n) => n + 1,
+        }
+    }
+
+    fn build(&self, peak_bps: f64) -> Vec<FlowSpec> {
+        match *self {
+            FlowLoad::Steady(n) => (0..n.max(1)).map(|_| FlowSpec::default()).collect(),
+            FlowLoad::OnOffCross(n) => {
+                let mut flows = vec![FlowSpec::default()];
+                let rate = 0.5 * peak_bps / n.max(1) as f64;
+                for i in 0..n {
+                    flows.push(FlowSpec::on_off_cross((i + 1) as f64, 2.0, 2.0, rate));
+                }
+                flows
+            }
+        }
+    }
+}
+
+/// One expanded cell of a sweep: the coordinates plus the concrete,
+/// seeded [`Scenario`] ready to simulate.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the expansion order (stable cell identity).
+    pub index: u64,
+    /// Peak bottleneck bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// One-way propagation delay, ms.
+    pub owd_ms: u64,
+    /// DropTail queue capacity, packets.
+    pub queue_pkts: usize,
+    /// Configured iid random loss rate.
+    pub loss: f64,
+    /// Bottleneck trace shape.
+    pub shape: TraceShape,
+    /// Flow population.
+    pub load: FlowLoad,
+    /// The fully built scenario (trace, flows, seed, MI convention).
+    pub scenario: Scenario,
+}
+
+/// A scenario matrix: the Cartesian product of six axes.
+///
+/// Expansion order is fixed and documented: bandwidth (outermost), then
+/// one-way delay, queue, loss, trace shape, flow load (innermost).
+/// Reordering the values inside an axis therefore changes cell indices
+/// — treat specs used for golden fixtures as frozen.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Peak bottleneck bandwidths, Mbps.
+    pub bandwidth_mbps: Vec<f64>,
+    /// One-way propagation delays, ms.
+    pub owd_ms: Vec<u64>,
+    /// Queue capacities, packets.
+    pub queue_pkts: Vec<usize>,
+    /// iid random loss rates.
+    pub loss: Vec<f64>,
+    /// Bottleneck trace shapes.
+    pub shapes: Vec<TraceShape>,
+    /// Flow populations.
+    pub loads: Vec<FlowLoad>,
+    /// Per-cell simulation horizon, seconds.
+    pub duration_s: u64,
+    /// Maximum segment size, bytes.
+    pub mss_bytes: u32,
+    /// Base seed; each cell derives its own seed from this and its
+    /// index via SplitMix64.
+    pub seed: u64,
+    /// When true, every flow uses the learning agents' fixed
+    /// monitor-interval convention (2 × base RTT clamped to
+    /// [10 ms, 200 ms]) so learned and heuristic schemes see identical
+    /// interval boundaries.
+    pub agent_mi: bool,
+}
+
+impl SweepSpec {
+    /// A minimal single-cell spec (10 Mbps, 20 ms, 500 pkts, lossless,
+    /// constant trace, one flow, 10 s) to build variations from.
+    pub fn single_cell() -> Self {
+        SweepSpec {
+            bandwidth_mbps: vec![10.0],
+            owd_ms: vec![20],
+            queue_pkts: vec![500],
+            loss: vec![0.0],
+            shapes: vec![TraceShape::Constant],
+            loads: vec![FlowLoad::Steady(1)],
+            duration_s: 10,
+            mss_bytes: 1500,
+            seed: 7,
+            agent_mi: false,
+        }
+    }
+
+    /// The paper's Table 3 testing ranges discretized into a grid:
+    /// 10–50 Mbps, 10–200 ms, 500–5000 pkts, 0–10 % loss, three trace
+    /// shapes, steady and cross-traffic loads (216 cells).
+    pub fn table3_testing() -> Self {
+        SweepSpec {
+            bandwidth_mbps: vec![10.0, 30.0, 50.0],
+            owd_ms: vec![10, 100, 200],
+            queue_pkts: vec![500, 5000],
+            loss: vec![0.0, 0.05, 0.10],
+            shapes: vec![
+                TraceShape::Constant,
+                TraceShape::Square { period_s: 5.0 },
+                TraceShape::Oscillating {
+                    steps: 4,
+                    dwell_s: 2.0,
+                },
+            ],
+            loads: vec![FlowLoad::Steady(1), FlowLoad::OnOffCross(1)],
+            duration_s: 30,
+            mss_bytes: 1500,
+            seed: 7,
+            agent_mi: true,
+        }
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.bandwidth_mbps.len()
+            * self.owd_ms.len()
+            * self.queue_pkts.len()
+            * self.loss.len()
+            * self.shapes.len()
+            * self.loads.len()
+    }
+
+    /// Expands the matrix into its ordered list of cells.
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        let mut index = 0u64;
+        for &bw in &self.bandwidth_mbps {
+            for &owd in &self.owd_ms {
+                for &queue in &self.queue_pkts {
+                    for &loss in &self.loss {
+                        for &shape in &self.shapes {
+                            for &load in &self.loads {
+                                let peak = bw * 1e6;
+                                let link = LinkSpec {
+                                    trace: shape.build(peak, self.duration_s),
+                                    one_way_delay: SimDuration::from_millis(owd),
+                                    queue_pkts: queue,
+                                    loss_rate: loss,
+                                };
+                                let mut flows = load.build(peak);
+                                if self.agent_mi {
+                                    let mi = link.agent_mi();
+                                    for f in &mut flows {
+                                        f.mi = MiMode::Fixed(mi);
+                                    }
+                                }
+                                let scenario = Scenario {
+                                    link,
+                                    flows,
+                                    mss_bytes: self.mss_bytes,
+                                    duration: SimDuration::from_secs(self.duration_s),
+                                    seed: cell_seed(self.seed, index),
+                                };
+                                cells.push(SweepCell {
+                                    index,
+                                    bandwidth_mbps: bw,
+                                    owd_ms: owd,
+                                    queue_pkts: queue,
+                                    loss,
+                                    shape,
+                                    load,
+                                    scenario,
+                                });
+                                index += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// SplitMix64 over the base seed and cell index: well-mixed, distinct
+/// per-cell RNG streams that are stable across platforms and releases.
+pub fn cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocc_netsim::AppPattern;
+
+    #[test]
+    fn expansion_is_deterministic_and_complete() {
+        let spec = SweepSpec {
+            bandwidth_mbps: vec![5.0, 10.0],
+            owd_ms: vec![10, 20],
+            queue_pkts: vec![100],
+            loss: vec![0.0, 0.01],
+            shapes: vec![TraceShape::Constant, TraceShape::Square { period_s: 2.0 }],
+            loads: vec![FlowLoad::Steady(1)],
+            ..SweepSpec::single_cell()
+        };
+        assert_eq!(spec.cell_count(), 16);
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.scenario.seed, y.scenario.seed);
+            assert_eq!(x.shape.label(), y.shape.label());
+        }
+        // Every cell gets a distinct seed.
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.scenario.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16);
+    }
+
+    #[test]
+    fn agent_mi_convention_applied() {
+        let mut spec = SweepSpec::single_cell();
+        spec.agent_mi = true;
+        spec.owd_ms = vec![20]; // base RTT 40 ms ⇒ MI 80 ms
+        let cells = spec.expand();
+        match cells[0].scenario.flows[0].mi {
+            MiMode::Fixed(d) => assert_eq!(d, SimDuration::from_millis(80)),
+            _ => panic!("expected fixed MI"),
+        }
+    }
+
+    #[test]
+    fn on_off_load_builds_cross_flows() {
+        let mut spec = SweepSpec::single_cell();
+        spec.loads = vec![FlowLoad::OnOffCross(2)];
+        let cells = spec.expand();
+        let flows = &cells[0].scenario.flows;
+        assert_eq!(flows.len(), 3);
+        assert!(matches!(flows[0].app, AppPattern::Greedy));
+        assert!(matches!(flows[1].app, AppPattern::OnOff { .. }));
+        assert!(flows[2].start > flows[1].start, "cross flows staggered");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TraceShape::Constant.label(), "constant");
+        assert_eq!(TraceShape::Square { period_s: 5.0 }.label(), "square:5");
+        assert_eq!(
+            TraceShape::Oscillating {
+                steps: 4,
+                dwell_s: 2.0
+            }
+            .label(),
+            "osc:4x2"
+        );
+        assert_eq!(FlowLoad::Steady(3).label(), "steady:3");
+        assert_eq!(FlowLoad::OnOffCross(1).label(), "onoff:1");
+    }
+
+    #[test]
+    fn cell_seed_mixes() {
+        assert_ne!(cell_seed(7, 0), cell_seed(7, 1));
+        assert_ne!(cell_seed(7, 0), cell_seed(8, 0));
+        // Stable value pinned so golden fixtures cannot silently shift.
+        assert_eq!(cell_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+    }
+}

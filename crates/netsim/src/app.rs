@@ -91,6 +91,104 @@ impl AppSource for PeriodicSource {
     }
 }
 
+/// An on/off (burst-idle) source: during each ON window of length `on`
+/// the application produces data at `rate_bps` (as a fluid, granted in
+/// whole-byte chunks); during the following OFF window of length `off`
+/// it produces nothing. The cycle starts in the ON phase at time zero
+/// and repeats forever.
+///
+/// This is the classic cross-traffic pattern: a competing flow that
+/// periodically grabs and releases bottleneck capacity, so a controller
+/// under test must both yield quickly and reclaim quickly.
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    on: crate::time::SimDuration,
+    off: crate::time::SimDuration,
+    rate_bps: f64,
+    backlog_bytes: f64,
+    accrued_until: SimTime,
+}
+
+impl OnOffSource {
+    /// Creates an on/off source. `on` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on` is the zero duration (the source would never
+    /// produce anything).
+    pub fn new(on: crate::time::SimDuration, off: crate::time::SimDuration, rate_bps: f64) -> Self {
+        assert!(!on.is_zero(), "on/off source needs a nonzero ON window");
+        OnOffSource {
+            on,
+            off,
+            rate_bps,
+            backlog_bytes: 0.0,
+            accrued_until: SimTime::ZERO,
+        }
+    }
+
+    /// Starts production accrual at `start` instead of time zero, so a
+    /// flow that begins mid-simulation does not open with the backlog
+    /// of every ON window it slept through. The on/off *phase* stays
+    /// anchored at absolute time zero (staggered flows land at
+    /// different points of the cycle by design).
+    pub fn starting_at(mut self, start: SimTime) -> Self {
+        self.accrued_until = start;
+        self
+    }
+
+    /// True when `t` falls inside an ON window.
+    pub fn is_on(&self, t: SimTime) -> bool {
+        t.0 % (self.on.0 + self.off.0) < self.on.0
+    }
+
+    /// Accumulates fluid production over the ON time in
+    /// `(accrued_until, now]`.
+    fn accrue(&mut self, now: SimTime) {
+        let cycle = self.on.0 + self.off.0;
+        let mut t = self.accrued_until.0;
+        while t < now.0 {
+            let pos = t % cycle;
+            if pos < self.on.0 {
+                let end_on = t - pos + self.on.0;
+                let upto = end_on.min(now.0);
+                self.backlog_bytes += (upto - t) as f64 * 1e-9 * self.rate_bps / 8.0;
+                t = upto;
+            } else {
+                // Skip the rest of the OFF window.
+                t = t - pos + cycle;
+            }
+        }
+        self.accrued_until = now;
+    }
+
+    /// Bytes currently waiting to be sent (whole bytes).
+    pub fn backlog(&self) -> u64 {
+        self.backlog_bytes as u64
+    }
+}
+
+impl AppSource for OnOffSource {
+    fn take(&mut self, now: SimTime, max_bytes: u64) -> u64 {
+        self.accrue(now);
+        let granted = (self.backlog_bytes as u64).min(max_bytes);
+        self.backlog_bytes -= granted as f64;
+        granted
+    }
+
+    fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
+        let cycle = self.on.0 + self.off.0;
+        if self.is_on(now) {
+            // Wake when roughly one packet's worth has accumulated.
+            let dt_ns = (1500.0 * 8.0 / self.rate_bps.max(1.0) * 1e9) as u64;
+            Some(SimTime(now.0 + dt_ns.max(1)))
+        } else {
+            // Wake at the start of the next ON window.
+            Some(SimTime(now.0 - now.0 % cycle + cycle))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +210,55 @@ mod tests {
         assert_eq!(s.take(SimTime::from_millis(29), 10_000), 0);
         assert_eq!(s.take(SimTime::from_millis(30), 500), 500);
         assert_eq!(s.backlog(), 500);
+    }
+
+    #[test]
+    fn on_off_produces_only_during_on_windows() {
+        // 1 s ON at 8 kbps (1000 B/s), 1 s OFF.
+        let mut s = OnOffSource::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            8_000.0,
+        );
+        // Half-way through the first ON window: 500 B accrued.
+        assert_eq!(s.take(SimTime::from_millis(500), 10_000), 500);
+        // Deep in the OFF window: only the remaining ON half accrued.
+        assert_eq!(s.take(SimTime::from_millis(1900), 10_000), 500);
+        assert_eq!(s.take(SimTime::from_millis(1950), 10_000), 0);
+        // One full further cycle adds exactly one ON window of bytes.
+        assert_eq!(s.take(SimTime::from_millis(3900), 10_000), 1000);
+    }
+
+    #[test]
+    fn on_off_starting_at_skips_pre_start_production() {
+        // 1 s ON / 1 s OFF at 8 kbps, flow starting at t = 2.5 s: the
+        // [0, 1 s) ON window before the start must NOT appear as a
+        // burst; only production after 2.5 s counts (phase is still
+        // absolute: 2–3 s is an ON window).
+        let mut s = OnOffSource::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            8_000.0,
+        )
+        .starting_at(SimTime::from_millis(2500));
+        assert_eq!(s.take(SimTime::from_millis(3000), 10_000), 500);
+    }
+
+    #[test]
+    fn on_off_phase_and_wakeups() {
+        let s = OnOffSource::new(SimDuration::from_secs(2), SimDuration::from_secs(3), 1e6);
+        assert!(s.is_on(SimTime::from_millis(1999)));
+        assert!(!s.is_on(SimTime::from_secs(2)));
+        assert!(s.is_on(SimTime::from_secs(5)));
+        // OFF phase wakes at the next cycle boundary.
+        assert_eq!(
+            s.next_wakeup(SimTime::from_secs(3)),
+            Some(SimTime::from_secs(5))
+        );
+        // ON phase wakes after about one MSS of accrual time (12 ms at
+        // 1 Mbps).
+        let w = s.next_wakeup(SimTime::ZERO).unwrap();
+        assert_eq!(w, SimTime::from_millis(12));
     }
 
     #[test]

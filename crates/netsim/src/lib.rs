@@ -32,10 +32,11 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use app::{AppSource, GreedySource, OnOffSource, PeriodicSource};
 pub use cc::{
     AckInfo, CongestionControl, LossInfo, LossKind, MonitorStats, RateControl, SenderView,
 };
-pub use scenario::{FlowSpec, LinkSpec, MiMode, Scenario, ScenarioRange};
+pub use scenario::{AppPattern, FlowSpec, LinkSpec, MiMode, Scenario, ScenarioRange};
 pub use sim::{FlowId, FlowResult, MiRecord, Processed, SimResult, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use trace::BandwidthTrace;

@@ -45,6 +45,15 @@ impl LinkSpec {
     pub fn bdp_pkts(&self, mss_bytes: u32) -> f64 {
         self.trace.max_rate() * self.base_rtt().as_secs_f64() / (mss_bytes as f64 * 8.0)
     }
+
+    /// The learning agents' deployment monitor-interval convention:
+    /// 2 × base RTT clamped to [10 ms, 200 ms]. The single source of
+    /// truth shared by the figure harness and the sweep harness, so
+    /// learned and heuristic schemes always see the same interval
+    /// boundaries.
+    pub fn agent_mi(&self) -> SimDuration {
+        SimDuration((2 * self.base_rtt().0).clamp(10_000_000, 200_000_000))
+    }
 }
 
 /// How a flow's monitor-interval length is chosen.
@@ -64,6 +73,39 @@ impl Default for MiMode {
     }
 }
 
+/// The application traffic pattern driving a flow, declaratively.
+///
+/// A scenario that names its traffic pattern here is fully
+/// self-describing: [`crate::sim::Simulator::new`] instantiates the
+/// matching [`crate::app::AppSource`] automatically, so two runs of the
+/// same `Scenario` are identical without any post-construction
+/// [`crate::sim::Simulator::set_app`] calls. Custom sources (the §6.3
+/// video/RTC workloads) still use `set_app`, which overrides this.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum AppPattern {
+    /// Unlimited bulk data (the classic greedy sender).
+    #[default]
+    Greedy,
+    /// `bytes_per_interval` produced every `interval` (a paced encoder).
+    Periodic {
+        /// Bytes produced at each interval boundary.
+        bytes_per_interval: u64,
+        /// Production interval.
+        interval: SimDuration,
+    },
+    /// On/off cross traffic: `rate_bps` of fluid data during each ON
+    /// window of length `on`, nothing during the following OFF window
+    /// of length `off`.
+    OnOff {
+        /// ON window length (must be nonzero).
+        on: SimDuration,
+        /// OFF window length.
+        off: SimDuration,
+        /// Production rate during ON windows, bits per second.
+        rate_bps: f64,
+    },
+}
+
 /// Description of one flow.
 #[derive(Debug, Clone)]
 pub struct FlowSpec {
@@ -78,6 +120,8 @@ pub struct FlowSpec {
     pub bytes_to_send: Option<u64>,
     /// Monitor-interval policy for this flow.
     pub mi: MiMode,
+    /// Application traffic pattern for this flow.
+    pub app: AppPattern,
 }
 
 impl Default for FlowSpec {
@@ -88,6 +132,7 @@ impl Default for FlowSpec {
             extra_owd: SimDuration::ZERO,
             bytes_to_send: None,
             mi: MiMode::default(),
+            app: AppPattern::Greedy,
         }
     }
 }
@@ -97,6 +142,20 @@ impl FlowSpec {
     pub fn starting_at(start_s: f64) -> Self {
         FlowSpec {
             start: SimTime::from_secs_f64(start_s),
+            ..Default::default()
+        }
+    }
+
+    /// An on/off cross-traffic flow starting at `start_s` seconds with
+    /// symmetric `on_s`/`off_s` windows producing at `rate_bps`.
+    pub fn on_off_cross(start_s: f64, on_s: f64, off_s: f64, rate_bps: f64) -> Self {
+        FlowSpec {
+            start: SimTime::from_secs_f64(start_s),
+            app: AppPattern::OnOff {
+                on: SimDuration::from_secs_f64(on_s),
+                off: SimDuration::from_secs_f64(off_s),
+                rate_bps,
+            },
             ..Default::default()
         }
     }
@@ -214,6 +273,16 @@ mod tests {
         // 12 Mbps, 40 ms RTT -> BDP = 12e6 * 0.04 / (1500*8) = 40 pkts.
         let link = LinkSpec::constant(12e6, SimDuration::from_millis(20), 100, 0.0);
         assert!((link.bdp_pkts(1500) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agent_mi_is_twice_base_rtt_clamped() {
+        let mi = |owd_ms| {
+            LinkSpec::constant(10e6, SimDuration::from_millis(owd_ms), 100, 0.0).agent_mi()
+        };
+        assert_eq!(mi(20), SimDuration::from_millis(80));
+        assert_eq!(mi(1), SimDuration::from_millis(10), "clamped to the floor");
+        assert_eq!(mi(200), SimDuration::from_millis(200), "clamped to the cap");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   agent (the RL training loop) at each monitor interval of a chosen
 //!   flow, which then sets the next rate with [`Simulator::set_rate`].
 
-use crate::app::{AppSource, GreedySource};
+use crate::app::{AppSource, GreedySource, OnOffSource, PeriodicSource};
 use crate::cc::{
     AckInfo, CongestionControl, LossInfo, LossKind, MonitorStats, RateControl, SenderView,
 };
@@ -159,10 +159,22 @@ struct FlowState {
 
 impl FlowState {
     fn new(spec: crate::scenario::FlowSpec, cc: Box<dyn CongestionControl>) -> Self {
+        let app: Box<dyn AppSource> = match spec.app {
+            crate::scenario::AppPattern::Greedy => Box::new(GreedySource),
+            crate::scenario::AppPattern::Periodic {
+                bytes_per_interval,
+                interval,
+            } => Box::new(PeriodicSource::new(bytes_per_interval, interval)),
+            crate::scenario::AppPattern::OnOff { on, off, rate_bps } => {
+                // Accrual starts with the flow: a staggered cross flow
+                // must not open with a burst of pre-start production.
+                Box::new(OnOffSource::new(on, off, rate_bps).starting_at(spec.start))
+            }
+        };
         FlowState {
             spec,
             cc: Some(cc),
-            app: Box::new(GreedySource),
+            app,
             ctl: RateControl::open(),
             active: false,
             done: false,
@@ -258,6 +270,10 @@ pub struct FlowResult {
     pub total_acked: u64,
     /// Total packets lost.
     pub total_lost: u64,
+    /// Packets still outstanding (neither acknowledged nor declared
+    /// lost) when the result was taken. Packet conservation holds
+    /// exactly: `total_sent == total_acked + total_lost + pkts_in_flight`.
+    pub pkts_in_flight: u64,
 }
 
 /// The result of a completed simulation.
@@ -860,6 +876,7 @@ impl Simulator {
                     total_sent: fl.total_sent,
                     total_acked: fl.total_acked,
                     total_lost: fl.total_lost,
+                    pkts_in_flight: fl.outstanding.len() as u64,
                 }
             })
             .collect();
@@ -933,11 +950,36 @@ mod tests {
         let res = Simulator::new(sc, vec![Box::new(FixedRate::new(6e6))]).run();
         let f = &res.flows[0];
         // Every sent packet is acked, lost, or still in flight at the end.
-        assert!(f.total_acked + f.total_lost <= f.total_sent);
-        assert!(
-            f.total_sent - (f.total_acked + f.total_lost) < 2000,
-            "in-flight bound"
+        assert_eq!(
+            f.total_acked + f.total_lost + f.pkts_in_flight,
+            f.total_sent
         );
+        assert!(f.pkts_in_flight < 2000, "in-flight bound");
+    }
+
+    #[test]
+    fn on_off_cross_traffic_pattern_is_applied() {
+        // One greedy flow plus one on/off cross flow (2 s ON / 2 s OFF
+        // at half capacity). The cross flow must deliver roughly half of
+        // what an always-on flow at that rate would, and the scenario
+        // alone must describe it (no set_app call).
+        let mut sc = Scenario::dumbbell(10e6, 10, 200, 2, 0.0, 20);
+        sc.flows[1] = crate::scenario::FlowSpec::on_off_cross(0.0, 2.0, 2.0, 5e6);
+        let res = Simulator::new(
+            sc,
+            vec![Box::new(Aimd::new()), Box::new(FixedRate::new(10e6))],
+        )
+        .run();
+        let cross = &res.flows[1];
+        // ~5 Mbps for half the time ⇒ ~2.5 Mbps mean, modulo startup.
+        assert!(
+            cross.throughput_bps > 1.5e6 && cross.throughput_bps < 3.5e6,
+            "cross throughput {}",
+            cross.throughput_bps
+        );
+        // The greedy flow keeps the link busy overall.
+        let total = res.flows[0].throughput_bps + cross.throughput_bps;
+        assert!(total > 8e6, "total {total}");
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl BandwidthTrace {
 
     /// A square wave alternating between `low_bps` and `high_bps`, holding
     /// each level for `period_s` seconds, starting at `low_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not strictly positive (the trace would
+    /// never advance).
     pub fn square_wave(low_bps: f64, high_bps: f64, period_s: f64, total_s: f64) -> Self {
+        assert!(period_s > 0.0, "square wave needs a positive period");
         let mut steps = Vec::new();
         let mut t = 0.0;
         let mut high = false;
@@ -56,6 +62,45 @@ impl BandwidthTrace {
             ));
             high = !high;
             t += period_s;
+        }
+        BandwidthTrace::from_steps(steps)
+    }
+
+    /// An oscillating staircase: the rate climbs from `lo_bps` to
+    /// `hi_bps` in `steps_per_ramp` equal steps, descends back the same
+    /// way, and repeats until `total_s`. Each level is held for
+    /// `dwell_s` seconds. This is the "step/oscillating" link shape of
+    /// the sweep-evaluation harness: unlike [`square_wave`] the
+    /// bottleneck drifts gradually, exercising how quickly a controller
+    /// tracks capacity in both directions.
+    ///
+    /// [`square_wave`]: BandwidthTrace::square_wave
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell_s` is not strictly positive (the trace would
+    /// never advance).
+    pub fn oscillating(
+        lo_bps: f64,
+        hi_bps: f64,
+        steps_per_ramp: usize,
+        dwell_s: f64,
+        total_s: f64,
+    ) -> Self {
+        assert!(dwell_s > 0.0, "oscillating trace needs a positive dwell");
+        let n = steps_per_ramp.max(1);
+        let level = |i: usize| lo_bps + (hi_bps - lo_bps) * i as f64 / n as f64;
+        // One period: lo → hi inclusive, then back down exclusive of
+        // both endpoints (they belong to the neighbouring ramps).
+        let mut cycle: Vec<f64> = (0..=n).map(level).collect();
+        cycle.extend((1..n).rev().map(level));
+        let mut steps = Vec::new();
+        let mut t = 0.0;
+        let mut k = 0usize;
+        while t < total_s {
+            steps.push((SimTime::from_secs_f64(t), cycle[k % cycle.len()]));
+            k += 1;
+            t += dwell_s;
         }
         BandwidthTrace::from_steps(steps)
     }
@@ -159,6 +204,41 @@ mod tests {
             assert!(s.1 >= 1e6 && s.1 <= 5e6);
         }
         assert!(tr.max_rate() <= 5e6);
+    }
+
+    #[test]
+    fn oscillating_climbs_and_descends() {
+        // lo = 10, hi = 20, 2 steps per ramp, 1 s dwell:
+        // levels 10, 15, 20, 15 | 10, 15, 20, 15 | ...
+        let tr = BandwidthTrace::oscillating(10e6, 20e6, 2, 1.0, 8.0);
+        let at = |s: f64| tr.rate_at(SimTime::from_secs_f64(s));
+        assert_eq!(at(0.5), 10e6);
+        assert_eq!(at(1.5), 15e6);
+        assert_eq!(at(2.5), 20e6);
+        assert_eq!(at(3.5), 15e6);
+        assert_eq!(at(4.5), 10e6, "period restarts at lo");
+        assert_eq!(tr.max_rate(), 20e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dwell")]
+    fn oscillating_rejects_zero_dwell() {
+        let _ = BandwidthTrace::oscillating(1e6, 2e6, 2, 0.0, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn square_wave_rejects_zero_period() {
+        let _ = BandwidthTrace::square_wave(1e6, 2e6, 0.0, 4.0);
+    }
+
+    #[test]
+    fn oscillating_single_step_degenerates_to_square() {
+        let tr = BandwidthTrace::oscillating(1e6, 2e6, 1, 1.0, 4.0);
+        let at = |s: f64| tr.rate_at(SimTime::from_secs_f64(s));
+        assert_eq!(at(0.5), 1e6);
+        assert_eq!(at(1.5), 2e6);
+        assert_eq!(at(2.5), 1e6);
     }
 
     #[test]

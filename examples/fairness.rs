@@ -1,31 +1,55 @@
-//! Fairness demo: three CUBIC flows versus three BBR flows sharing a
-//! bottleneck, with per-second Jain index — the §6.4 methodology on
-//! classic schemes (runs with no training).
+//! Fairness demo over the sweep harness: each classic scheme runs a
+//! small matrix of multi-flow and cross-traffic cells in parallel, and
+//! the per-cell Jain index comes straight out of the sweep report —
+//! the §6.4 methodology on classic schemes (runs with no training).
 //!
 //! ```text
 //! cargo run --release --example fairness
 //! ```
 
-use mocc::netsim::metrics::{jain_index, per_second_jain, percentile};
-use mocc::netsim::{Scenario, Simulator};
+use mocc::eval::{FlowLoad, SweepRunner, SweepSpec, TraceShape};
 
 fn main() {
+    // 12 Mbps bottleneck, 20 ms RTT, two queue depths; three flow
+    // populations: 2 and 3 greedy flows sharing the link, plus one
+    // greedy flow against an on/off cross-traffic flow.
+    let spec = SweepSpec {
+        bandwidth_mbps: vec![12.0],
+        owd_ms: vec![10],
+        queue_pkts: vec![40, 400],
+        loss: vec![0.0],
+        shapes: vec![TraceShape::Constant],
+        loads: vec![
+            FlowLoad::Steady(2),
+            FlowLoad::Steady(3),
+            FlowLoad::OnOffCross(1),
+        ],
+        duration_s: 60,
+        mss_bytes: 1500,
+        seed: 7,
+        agent_mi: false,
+    };
+    let runner = SweepRunner::auto();
+    println!(
+        "{} cells per scheme, {} worker threads (J = 1 is a perfectly equal share)\n",
+        spec.cell_count(),
+        runner.threads()
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "scheme", "queue", "load", "goodput Mb", "util", "J"
+    );
     for name in ["cubic", "bbr", "vegas", "copa"] {
-        // 12 Mbps, 20 ms RTT dumbbell, 3 flows staggered 30 s apart.
-        let sc = Scenario::dumbbell(12e6, 10, 40, 3, 30.0, 120);
-        let ccs = (0..3).map(|_| mocc::cc::by_name(name).unwrap()).collect();
-        let res = Simulator::new(sc, ccs).run();
-        let shares: Vec<f64> = res.flows.iter().map(|f| f.throughput_bps / 1e6).collect();
-        let jain_series = per_second_jain(&res.flows);
-        println!(
-            "{name:<8} shares {:>5.2} / {:>5.2} / {:>5.2} Mbps   overall J = {:.3}   median per-second J = {:.3}",
-            shares[0],
-            shares[1],
-            shares[2],
-            jain_index(&shares),
-            percentile(&jain_series, 50.0),
-        );
+        let report = runner.run_baseline(&spec, name);
+        for cell in &report.cells {
+            println!(
+                "{:<8} {:>10} {:>10} {:>12.2} {:>10.3} {:>8.3}",
+                name, cell.queue_pkts, cell.load, cell.goodput_mbps, cell.utilization, cell.jain
+            );
+        }
+        println!();
     }
-    println!("\n(J = 1 is a perfectly equal share; see `cargo run -p mocc-bench --bin fig11_15`");
-    println!(" for the full Figs. 11-15 reproduction including MOCC variants)");
+    println!("(cross-traffic cells pit the scheme against a 2 s on / 2 s off competitor;");
+    println!(" see `cargo run -p mocc-bench --bin fig11_15` for the full Figs. 11-15");
+    println!(" reproduction including MOCC variants)");
 }

@@ -7,6 +7,7 @@
 pub use mocc_apps as apps;
 pub use mocc_cc as cc;
 pub use mocc_core as core;
+pub use mocc_eval as eval;
 pub use mocc_netsim as netsim;
 pub use mocc_nn as nn;
 pub use mocc_rl as rl;

@@ -1,0 +1,187 @@
+//! Golden-trace regression tests for the sweep-evaluation harness.
+//!
+//! Each baseline controller runs a small frozen [`SweepSpec`] and the
+//! aggregated metrics must match the checked-in fixtures under
+//! `tests/fixtures/` to a tight tolerance. Any change to the simulator,
+//! the controllers, the RNG streams, or the metric definitions shows up
+//! here as a diff against the golden values — intentional changes must
+//! regenerate the fixtures and justify the delta in review:
+//!
+//! ```text
+//! cargo test --test golden_sweep -- --ignored regen_golden
+//! ```
+//!
+//! The `sweep-regression` CI job runs this suite twice, with
+//! `MOCC_SWEEP_THREADS=1` and with the default worker count, so any
+//! scheduling-dependent nondeterminism fails the build.
+
+use mocc::eval::{
+    CellReport, FlowLoad, SweepCell, SweepReport, SweepRunner, SweepSpec, TraceShape,
+};
+use mocc::netsim::cc::{Aimd, CongestionControl};
+use std::path::PathBuf;
+
+/// Controllers with golden fixtures.
+const CONTROLLERS: &[&str] = &["cubic", "bbr", "vegas", "copa"];
+
+/// Per-metric tolerance. Metrics are canonically rounded to 1e-6, so
+/// anything beyond 2 ulps of that rounding is a real behaviour change.
+const TOL: f64 = 2e-6;
+
+/// The frozen golden spec: 16 cells spanning both new trace shapes and
+/// the on/off cross-traffic load. Do not edit without regenerating
+/// every fixture — cell indices and seeds depend on the exact values.
+fn golden_spec() -> SweepSpec {
+    SweepSpec {
+        bandwidth_mbps: vec![6.0, 12.0],
+        owd_ms: vec![10, 40],
+        queue_pkts: vec![200],
+        loss: vec![0.0, 0.02],
+        shapes: vec![
+            TraceShape::Constant,
+            TraceShape::Oscillating {
+                steps: 2,
+                dwell_s: 2.0,
+            },
+        ],
+        loads: vec![FlowLoad::OnOffCross(1)],
+        duration_s: 8,
+        mss_bytes: 1500,
+        seed: 42,
+        agent_mi: true,
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("golden_{name}.json"))
+}
+
+fn assert_cell_close(got: &CellReport, want: &CellReport, ctrl: &str) {
+    assert_eq!(got.index, want.index, "{ctrl}: cell order changed");
+    assert_eq!(
+        got.seed, want.seed,
+        "{ctrl}[{}]: seed derivation changed",
+        got.index
+    );
+    assert_eq!(got.shape, want.shape, "{ctrl}[{}]", got.index);
+    assert_eq!(got.load, want.load, "{ctrl}[{}]", got.index);
+    let fields: [(&str, f64, f64); 8] = [
+        ("goodput_mbps", got.goodput_mbps, want.goodput_mbps),
+        ("mean_rtt_ms", got.mean_rtt_ms, want.mean_rtt_ms),
+        ("p95_rtt_ms", got.p95_rtt_ms, want.p95_rtt_ms),
+        ("loss_rate", got.loss_rate, want.loss_rate),
+        ("utilization", got.utilization, want.utilization),
+        ("latency_ratio", got.latency_ratio, want.latency_ratio),
+        ("jain", got.jain, want.jain),
+        ("utility", got.utility, want.utility),
+    ];
+    for (field, g, w) in fields {
+        assert!(
+            (g - w).abs() <= TOL,
+            "{ctrl}[{}].{field}: got {g}, golden {w} (Δ {:+e}); if intentional, \
+             regenerate with `cargo test --test golden_sweep -- --ignored regen_golden`",
+            got.index,
+            g - w,
+        );
+    }
+}
+
+fn check_golden(name: &str) {
+    let path = fixture_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}; generate it with \
+             `cargo test --test golden_sweep -- --ignored regen_golden`",
+            path.display()
+        )
+    });
+    let want = SweepReport::from_json(&text).expect("fixture parses");
+    let got = SweepRunner::auto().run_baseline(&golden_spec(), name);
+    assert_eq!(
+        got.cells.len(),
+        want.cells.len(),
+        "{name}: cell count changed"
+    );
+    for (g, w) in got.cells.iter().zip(&want.cells) {
+        assert_cell_close(g, w, name);
+    }
+    assert!(
+        (got.summary.mean_utility - want.summary.mean_utility).abs() <= TOL,
+        "{name}: summary utility drifted: {} vs {}",
+        got.summary.mean_utility,
+        want.summary.mean_utility
+    );
+}
+
+#[test]
+fn golden_cubic() {
+    check_golden("cubic");
+}
+
+#[test]
+fn golden_bbr() {
+    check_golden("bbr");
+}
+
+#[test]
+fn golden_vegas() {
+    check_golden("vegas");
+}
+
+#[test]
+fn golden_copa() {
+    check_golden("copa");
+}
+
+/// Acceptance gate for the harness itself: a 64-cell matrix sharded
+/// over 4 threads produces canonical JSON byte-identical to a
+/// single-threaded run of the same spec.
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let spec = SweepSpec {
+        bandwidth_mbps: vec![2.0, 4.0],
+        owd_ms: vec![10, 30],
+        queue_pkts: vec![50, 200],
+        loss: vec![0.0, 0.01],
+        shapes: vec![TraceShape::Constant, TraceShape::Square { period_s: 2.0 }],
+        loads: vec![FlowLoad::Steady(1), FlowLoad::Steady(2)],
+        duration_s: 4,
+        mss_bytes: 1500,
+        seed: 11,
+        agent_mi: false,
+    };
+    assert_eq!(spec.cell_count(), 64);
+    let factory = |cell: &SweepCell| {
+        (0..cell.scenario.flows.len())
+            .map(|_| Box::new(Aimd::new()) as Box<dyn CongestionControl>)
+            .collect::<Vec<_>>()
+    };
+    let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &factory);
+    let quad = SweepRunner::with_threads(4).run(&spec, "aimd", &factory);
+    assert_eq!(
+        serial.to_canonical_json(),
+        quad.to_canonical_json(),
+        "parallel execution changed the report"
+    );
+}
+
+/// Regenerates every golden fixture in place. Ignored by default; run
+/// explicitly after an intentional behaviour change:
+///
+/// ```text
+/// cargo test --test golden_sweep -- --ignored regen_golden
+/// ```
+#[test]
+#[ignore = "writes tests/fixtures/golden_*.json; run explicitly to regenerate"]
+fn regen_golden() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for name in CONTROLLERS {
+        let report = SweepRunner::auto().run_baseline(&golden_spec(), name);
+        let path = fixture_path(name);
+        std::fs::write(&path, report.to_canonical_json()).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based integration tests over the workspace invariants.
 
 use mocc::core::{landmark_count, landmarks, Preference};
-use mocc::netsim::cc::FixedRate;
+use mocc::eval::{FlowLoad, SweepCell, SweepRunner, SweepSpec, TraceShape};
+use mocc::netsim::cc::{Aimd, CongestionControl, FixedRate};
 use mocc::netsim::metrics::jain_index;
 use mocc::netsim::{Scenario, Simulator};
 use proptest::prelude::*;
@@ -9,8 +10,9 @@ use proptest::prelude::*;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The simulator conserves packets: acked + lost never exceeds
-    /// sent, for any link parameters and sending rate.
+    /// The simulator conserves packets exactly: every sent packet is
+    /// acknowledged, declared lost, or still in flight at the horizon,
+    /// for any link parameters and sending rate.
     #[test]
     fn packets_conserved(
         bw_mbps in 1.0f64..40.0,
@@ -22,9 +24,53 @@ proptest! {
         let sc = Scenario::single(bw_mbps * 1e6, owd_ms, queue, loss, 10);
         let res = Simulator::new(sc, vec![Box::new(FixedRate::new(rate_mbps * 1e6))]).run();
         let f = &res.flows[0];
-        prop_assert!(f.total_acked + f.total_lost <= f.total_sent);
+        prop_assert_eq!(f.total_acked + f.total_lost + f.pkts_in_flight, f.total_sent);
         prop_assert!(f.loss_rate >= 0.0 && f.loss_rate <= 1.0);
         prop_assert!(f.utilization >= 0.0);
+    }
+
+    /// Simulator event timestamps are monotone non-decreasing: the
+    /// clock observed between processed events never runs backwards.
+    #[test]
+    fn event_timestamps_monotone(
+        bw_mbps in 1.0f64..20.0,
+        owd_ms in 5u64..80,
+        loss in 0.0f64..0.1,
+    ) {
+        let sc = Scenario::single(bw_mbps * 1e6, owd_ms, 100, loss, 5);
+        let mut sim = Simulator::new(sc, vec![Box::new(Aimd::new())]);
+        let mut last = sim.now();
+        while sim.process_next().is_some() {
+            prop_assert!(sim.now() >= last, "clock ran backwards: {} < {}", sim.now(), last);
+            last = sim.now();
+        }
+    }
+
+    /// A parallel sweep produces results identical to a serial sweep of
+    /// the same spec and seed — the determinism contract the golden
+    /// fixtures depend on.
+    #[test]
+    fn sweep_parallel_equals_serial(seed in 0u64..1_000_000) {
+        let spec = SweepSpec {
+            bandwidth_mbps: vec![3.0, 6.0],
+            owd_ms: vec![15],
+            queue_pkts: vec![80],
+            loss: vec![0.0, 0.02],
+            shapes: vec![TraceShape::Square { period_s: 1.0 }],
+            loads: vec![FlowLoad::Steady(1)],
+            duration_s: 3,
+            mss_bytes: 1500,
+            seed,
+            agent_mi: false,
+        };
+        let factory = |cell: &SweepCell| {
+            (0..cell.scenario.flows.len())
+                .map(|_| Box::new(Aimd::new()) as Box<dyn CongestionControl>)
+                .collect::<Vec<_>>()
+        };
+        let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &factory);
+        let parallel = SweepRunner::with_threads(3).run(&spec, "aimd", &factory);
+        prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
     }
 
     /// Delivered throughput never exceeds link capacity (no free

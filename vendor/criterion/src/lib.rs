@@ -8,8 +8,32 @@
 //! Honors `--bench` on the command line (substring filter over
 //! benchmark names) so `cargo bench some_name` narrows the run, and
 //! ignores harness flags it does not understand.
+//!
+//! By default the inner iteration count adapts to the routine's cost,
+//! which makes run *times* stable but iteration *counts* (and thus any
+//! side effects or smoke-run durations) machine-dependent. Setting
+//! `MOCC_BENCH_FIXED_ITERS=N` disables the adaptive timing and runs
+//! exactly `N` iterations per sample — deterministic work per
+//! benchmark, which is what CI smoke runs pin.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Environment variable fixing the per-sample iteration count.
+pub const FIXED_ITERS_ENV: &str = "MOCC_BENCH_FIXED_ITERS";
+
+/// The parsed `MOCC_BENCH_FIXED_ITERS` value, read once per process.
+/// `None` means adaptive timing (the default); invalid or zero values
+/// are treated as unset.
+fn fixed_iters() -> Option<u64> {
+    static FIXED: OnceLock<Option<u64>> = OnceLock::new();
+    *FIXED.get_or_init(|| {
+        std::env::var(FIXED_ITERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+    })
+}
 
 pub use std::hint::black_box;
 
@@ -52,16 +76,10 @@ impl Criterion {
         }
         let mut samples = Vec::with_capacity(self.sample_size);
         // Warm-up: one untimed pass.
-        let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: 0,
-        };
+        let mut b = Bencher::new();
         f(&mut b);
         for _ in 0..self.sample_size {
-            let mut b = Bencher {
-                elapsed: Duration::ZERO,
-                iters: 0,
-            };
+            let mut b = Bencher::new();
             f(&mut b);
             if b.iters > 0 {
                 samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
@@ -134,9 +152,18 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
+    fixed: Option<u64>,
 }
 
 impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            fixed: fixed_iters(),
+        }
+    }
+
     /// Times repeated calls of `routine`, keeping its output alive via
     /// [`black_box`] so the work is not optimized away. The inner
     /// iteration count adapts to the routine's cost: fast routines are
@@ -144,6 +171,17 @@ impl Bencher {
     /// training iterations) run once per sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         const TARGET: Duration = Duration::from_millis(5);
+        if let Some(n) = self.fixed {
+            // Fixed-iteration mode: exactly `n` timed iterations, no
+            // adaptive batching — deterministic work per sample.
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += n;
+            return;
+        }
         let start = Instant::now();
         black_box(routine());
         let first = start.elapsed();
@@ -206,5 +244,34 @@ mod tests {
         let mut c = Criterion::default().sample_size(3);
         c.filter = None; // test harness args must not filter benches
         quick(&mut c);
+    }
+
+    #[test]
+    fn fixed_iteration_mode_is_deterministic() {
+        // With `fixed` set, each iter() call runs exactly that many
+        // iterations regardless of how fast the routine is — the
+        // MOCC_BENCH_FIXED_ITERS contract CI smoke runs rely on.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            fixed: Some(7),
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(b.iters, 7);
+        assert_eq!(calls, 7);
+        b.iter(|| calls += 1);
+        assert_eq!(b.iters, 14, "samples accumulate exactly");
+    }
+
+    #[test]
+    fn adaptive_mode_batches_fast_routines() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            fixed: None,
+        };
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 1, "fast routine should be batched");
     }
 }
