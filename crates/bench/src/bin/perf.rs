@@ -1,0 +1,79 @@
+//! The CI performance harness: a fixed, seeded workload measuring the
+//! inference→simulation hot path, emitting canonical JSON to
+//! `BENCH_perf.json`.
+//!
+//! Metrics:
+//! - `forward_ns_b{1,32,256}` — nanoseconds per *row* of a policy-shaped
+//!   MLP forward pass at batch sizes 1, 32 and 256;
+//! - `sim_steps_per_sec` — discrete events processed per second on a
+//!   fixed single-flow scenario;
+//! - `sweep_cells_per_sec` — cells per second on the frozen 64-cell
+//!   reference sweep (cubic baseline, fixed worker count);
+//! - `mocc_cells_per_sec` — cells per second for batched MOCC policy
+//!   inference across a 16-cell matrix.
+//!
+//! The *work* is deterministic: `MOCC_BENCH_FIXED_ITERS=N` pins every
+//! repetition count (the timings still vary with the machine, which is
+//! what the tolerance band in `perf --check` absorbs).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf                      # measure, write BENCH_perf.json
+//! perf --check <baseline>   # additionally compare against a baseline
+//!                           # (tolerance: MOCC_PERF_TOLERANCE, def. 0.5)
+//! ```
+
+use mocc_bench::perf::{self, PerfReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Validate arguments, the tolerance, and the baseline file *before*
+    // the multi-second measurement: a typo'd path or flag should fail
+    // in milliseconds, not after the whole workload.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline: Option<PerfReport> = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("[perf] cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            Some(PerfReport::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("[perf] baseline {path} does not parse: {e:?}");
+                std::process::exit(1);
+            }))
+        }
+        other => {
+            eprintln!("usage: perf [--check <baseline.json>] (got {other:?})");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tol = perf::tolerance();
+
+    let report = perf::measure();
+    let json = report.to_canonical_json();
+    let out = std::env::var("MOCC_PERF_OUT").unwrap_or_else(|_| "BENCH_perf.json".to_string());
+    std::fs::write(&out, &json).expect("write perf report");
+    println!("{json}");
+    eprintln!("[perf] wrote {out}");
+
+    match baseline {
+        None => ExitCode::SUCCESS,
+        Some(base) => match perf::check(&report, &base, tol) {
+            Ok(lines) => {
+                for l in lines {
+                    eprintln!("[perf] {l}");
+                }
+                eprintln!("[perf] OK: no metric below {:.0}% of baseline", tol * 100.0);
+                ExitCode::SUCCESS
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("[perf] REGRESSION: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -11,6 +11,8 @@
 //! paper) experiment scales; the default is a reduced scale that keeps
 //! every figure under a few minutes.
 
+pub mod perf;
+
 use mocc_core::{
     AuroraAgent, AuroraBank, AuroraCc, MoccAgent, MoccCc, MoccConfig, Preference, TrainRegime,
 };

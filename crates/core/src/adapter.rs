@@ -5,7 +5,7 @@
 //! inference at each monitor interval and applies the Eq. 1 rate
 //! update, exactly like the user-space/kernel-space deployments in §5.
 
-use crate::agent::{stats_features, MoccAgent};
+use crate::agent::{stats_features, write_obs, MoccAgent};
 use crate::config::MoccConfig;
 use crate::preference::Preference;
 use crate::prefnet::PrefNet;
@@ -55,21 +55,10 @@ impl CongestionControl for MoccCc {
     fn on_monitor(&mut self, _view: &SenderView, mi: &MonitorStats, ctl: &mut RateControl) {
         self.history.pop_front();
         self.history.push_back(stats_features(mi));
-        let mut obs = Vec::with_capacity(3 + 3 * self.cfg.history);
-        obs.extend_from_slice(&self.pref.as_array());
-        for h in &self.history {
-            obs.extend_from_slice(h);
-        }
-        let a = (self.policy.mean_action(&obs) as f64)
-            .clamp(-self.cfg.action_clip, self.cfg.action_clip);
-        let alpha = self.cfg.action_scale;
-        let rate = ctl.pacing_rate_bps;
-        ctl.pacing_rate_bps = if a >= 0.0 {
-            rate * (1.0 + alpha * a)
-        } else {
-            rate / (1.0 - alpha * a)
-        }
-        .clamp(1e4, 1e9);
+        let mut obs = vec![0.0; self.cfg.obs_dim()];
+        write_obs(&self.pref, &self.history, &mut obs);
+        let mean = self.policy.mean_action(&obs);
+        ctl.pacing_rate_bps = self.cfg.apply_action(ctl.pacing_rate_bps, mean);
     }
 }
 

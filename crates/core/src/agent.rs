@@ -20,6 +20,26 @@ pub fn stats_features(stats: &MonitorStats) -> [f32; 3] {
     ]
 }
 
+/// Assembles the policy observation — the preference followed by the
+/// η-interval feature history — into `out` (length
+/// [`MoccConfig::obs_dim`]). One writer serves the deployment adapter,
+/// the library facade, and the batched evaluator, so their observation
+/// layouts can never drift apart.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `3 + 3 × history.len()`.
+pub fn write_obs(
+    pref: &Preference,
+    history: &std::collections::VecDeque<[f32; 3]>,
+    out: &mut [f32],
+) {
+    out[..3].copy_from_slice(&pref.as_array());
+    for (chunk, h) in out[3..].chunks_exact_mut(3).zip(history) {
+        chunk.copy_from_slice(h);
+    }
+}
+
 /// The complete MOCC learner: a PPO actor-critic whose actor and critic
 /// both carry the preference sub-network (Fig. 3).
 #[derive(Clone, Serialize, Deserialize)]

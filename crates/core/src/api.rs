@@ -85,20 +85,10 @@ impl MoccLib {
             (s.latency_ratio as f32 - 1.0).clamp(0.0, 5.0),
             (s.latency_gradient as f32 * 10.0).clamp(-1.0, 1.0),
         ]);
-        let mut obs = Vec::with_capacity(3 + 3 * self.cfg.history);
-        obs.extend_from_slice(&pref.as_array());
-        for h in &self.history {
-            obs.extend_from_slice(h);
-        }
-        let a = (self.policy.mean_action(&obs) as f64)
-            .clamp(-self.cfg.action_clip, self.cfg.action_clip);
-        let alpha = self.cfg.action_scale;
-        self.rate_bps = if a >= 0.0 {
-            self.rate_bps * (1.0 + alpha * a)
-        } else {
-            self.rate_bps / (1.0 - alpha * a)
-        }
-        .clamp(1e4, 1e9);
+        let mut obs = vec![0.0; self.cfg.obs_dim()];
+        crate::agent::write_obs(&pref, &self.history, &mut obs);
+        let mean = self.policy.mean_action(&obs);
+        self.rate_bps = self.cfg.apply_action(self.rate_bps, mean);
         Ok(())
     }
 

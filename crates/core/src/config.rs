@@ -98,6 +98,24 @@ impl MoccConfig {
         3 + 3 * self.history
     }
 
+    /// The Eq. 1 multiplicative rate update: clamps the policy mean to
+    /// `±action_clip`, scales by `action_scale`, and applies it to
+    /// `rate_bps` (symmetric: `×(1 + αa)` up, `÷(1 − αa)` down),
+    /// bounded to [10 kbps, 1 Gbps]. The single implementation behind
+    /// the deployment adapter, the library facade, and the batched
+    /// evaluator — the deployed and batch-evaluated controllers apply
+    /// identical arithmetic by construction.
+    pub fn apply_action(&self, rate_bps: f64, mean: f32) -> f64 {
+        let a = (mean as f64).clamp(-self.action_clip, self.action_clip);
+        let alpha = self.action_scale;
+        if a >= 0.0 {
+            rate_bps * (1.0 + alpha * a)
+        } else {
+            rate_bps / (1.0 - alpha * a)
+        }
+        .clamp(1e4, 1e9)
+    }
+
     /// Entropy coefficient at training iteration `iter` (linear decay,
     /// §5: "decay from 1 to 0.1 over 1000 iterations", rescaled).
     pub fn entropy_at(&self, iter: usize) -> f32 {

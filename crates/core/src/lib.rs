@@ -36,6 +36,7 @@ pub mod adapter;
 pub mod agent;
 pub mod api;
 pub mod aurora;
+pub mod batch_eval;
 pub mod config;
 pub mod env;
 pub mod graph;
@@ -45,14 +46,15 @@ pub mod prefnet;
 pub mod train;
 
 pub use adapter::MoccCc;
-pub use agent::{stats_features, MoccAgent};
+pub use agent::{stats_features, write_obs, MoccAgent};
 pub use api::{MoccLib, MoccLibError, NetStatus};
 pub use aurora::{AuroraAgent, AuroraBank, AuroraCc};
+pub use batch_eval::BatchMoccEvaluator;
 pub use config::MoccConfig;
 pub use env::{MoccEnv, ScenarioSource};
 pub use online::{convergence_iter, AdaptationPoint, OnlineAdapter};
 pub use preference::{landmark_count, landmarks, nearest, Preference};
-pub use prefnet::PrefNet;
+pub use prefnet::{PrefNet, PrefNetScratch};
 pub use train::{
     evaluate, train_iteration, train_iteration_contrast, train_offline, TrainOutcome, TrainRegime,
 };

@@ -9,7 +9,7 @@
 //! one model correlate preferences with control policies (§4.1).
 
 use mocc_nn::mlp::ForwardCache;
-use mocc_nn::{Activation, Matrix, Mlp, Network};
+use mocc_nn::{Activation, Matrix, Mlp, MlpScratch, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +33,20 @@ pub struct PrefNet {
 pub struct PrefNetCache {
     pn: ForwardCache,
     main: ForwardCache,
+}
+
+/// Reusable inference buffers for [`PrefNet`] (see
+/// [`Network::Scratch`]): sub-network and trunk scratch plus the
+/// intermediate preference/feature/joint buffers, so repeated inference
+/// allocates nothing at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct PrefNetScratch {
+    pn: MlpScratch,
+    main: MlpScratch,
+    joint: Vec<f32>,
+    wm: Matrix,
+    pn_out: Matrix,
+    jointm: Matrix,
 }
 
 impl PrefNet {
@@ -71,6 +85,7 @@ impl PrefNet {
 
 impl Network for PrefNet {
     type Cache = PrefNetCache;
+    type Scratch = PrefNetScratch;
 
     fn in_dim(&self) -> usize {
         self.pref_dim + self.rest_dim()
@@ -86,6 +101,36 @@ impl Network for PrefNet {
         let mut joint = f;
         joint.extend_from_slice(&x[self.pref_dim..]);
         self.main.forward(&joint)
+    }
+
+    fn forward_into(&self, x: &[f32], out: &mut Vec<f32>, scratch: &mut PrefNetScratch) {
+        debug_assert_eq!(x.len(), self.in_dim());
+        let f = self.pn.forward_into(&x[..self.pref_dim], &mut scratch.pn);
+        scratch.joint.clear();
+        scratch.joint.extend_from_slice(f);
+        scratch.joint.extend_from_slice(&x[self.pref_dim..]);
+        let y = self.main.forward_into(&scratch.joint, &mut scratch.main);
+        out.clear();
+        out.extend_from_slice(y);
+    }
+
+    fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut PrefNetScratch) {
+        debug_assert_eq!(x.cols, self.in_dim());
+        x.copy_cols_into(0, self.pref_dim, &mut scratch.wm);
+        self.pn
+            .forward_batch_into(&scratch.wm, &mut scratch.pn_out, &mut scratch.pn);
+        // joint = [pn features | history columns], assembled row-wise
+        // into the reusable buffer (an allocation-free hstack).
+        let pnf = self.pn.out_dim();
+        let rest = self.rest_dim();
+        scratch.jointm.reshape(x.rows, pnf + rest);
+        for r in 0..x.rows {
+            let jrow = scratch.jointm.row_mut(r);
+            jrow[..pnf].copy_from_slice(scratch.pn_out.row(r));
+            jrow[pnf..].copy_from_slice(&x.row(r)[self.pref_dim..]);
+        }
+        self.main
+            .forward_batch_into(&scratch.jointm, out, &mut scratch.main);
     }
 
     fn forward_batch(&self, x: &Matrix) -> PrefNetCache {
@@ -161,6 +206,30 @@ mod tests {
                 "row {i}: {single} vs {}",
                 out.get(i, 0)
             );
+        }
+    }
+
+    #[test]
+    fn scratch_paths_bitwise_match_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = net(&mut rng);
+        let rows = 5;
+        let batch = Matrix::from_fn(rows, 9, |r, c| {
+            if (r + c) % 4 == 0 {
+                0.0
+            } else {
+                ((r * 13 + c * 3) % 11) as f32 * 0.17 - 0.8
+            }
+        });
+        let mut scratch = PrefNetScratch::default();
+        let mut out = Matrix::default();
+        n.forward_batch_into(&batch, &mut out, &mut scratch);
+        let mut single_out = Vec::new();
+        for r in 0..rows {
+            let reference = n.forward(batch.row(r));
+            n.forward_into(batch.row(r), &mut single_out, &mut scratch);
+            assert_eq!(reference[0].to_bits(), single_out[0].to_bits());
+            assert_eq!(reference[0].to_bits(), out.get(r, 0).to_bits(), "row {r}");
         }
     }
 

@@ -43,5 +43,7 @@ pub mod runner;
 pub mod spec;
 
 pub use report::{round6, CellReport, SweepReport, SweepSummary};
-pub use runner::{run_cell, BaselineFactory, CellFactory, SweepRunner, THREADS_ENV};
+pub use runner::{
+    parse_threads, run_cell, BaselineFactory, CellEvaluator, CellFactory, SweepRunner, THREADS_ENV,
+};
 pub use spec::{cell_seed, FlowLoad, SweepCell, SweepSpec, TraceShape};

@@ -7,9 +7,18 @@
 //! back by cell index and the assembled [`SweepReport`] is identical —
 //! byte for byte in canonical JSON — whatever the worker count.
 //!
+//! Work is pulled in contiguous *chunks* of cells sized by the
+//! [`CellEvaluator`]: per-cell controllers (any [`CellFactory`]) use
+//! chunks of one, while batched evaluators (e.g. a learned policy
+//! running one matmul across many cells) claim whole chunks and
+//! amortize inference over them. Chunking only changes scheduling —
+//! never results.
+//!
 //! Worker count resolution, highest priority first:
 //! 1. [`SweepRunner::with_threads`],
-//! 2. the `MOCC_SWEEP_THREADS` environment variable,
+//! 2. the `MOCC_SWEEP_THREADS` environment variable (a positive
+//!    integer; anything else aborts with a clear error rather than
+//!    silently falling back),
 //! 3. [`std::thread::available_parallelism`].
 
 use crate::report::{CellReport, SweepReport};
@@ -67,6 +76,37 @@ impl CellFactory for BaselineFactory {
     }
 }
 
+/// Evaluates whole batches of cells at once — the hook that lets
+/// learned policies batch inference across sweep cells (one forward
+/// pass serves a chunk of simulators). Implementations must return one
+/// report per input cell, in order, and must evaluate each cell
+/// independently of its chunk-mates: the runner's byte-identity
+/// contract (same report for any thread count or batch size) relies on
+/// it.
+pub trait CellEvaluator: Sync {
+    /// Preferred cells per chunk (≥ 1). The runner never hands a chunk
+    /// larger than this.
+    fn batch_size(&self) -> usize {
+        1
+    }
+
+    /// Evaluates a contiguous batch of cells, returning one report per
+    /// cell in input order.
+    fn eval_batch(&self, cells: &[SweepCell]) -> Vec<CellReport>;
+}
+
+/// Adapter running a per-cell [`CellFactory`] as a chunk-of-one
+/// [`CellEvaluator`].
+struct FactoryEvaluator<'a> {
+    factory: &'a dyn CellFactory,
+}
+
+impl CellEvaluator for FactoryEvaluator<'_> {
+    fn eval_batch(&self, cells: &[SweepCell]) -> Vec<CellReport> {
+        cells.iter().map(|c| run_cell(c, self.factory)).collect()
+    }
+}
+
 /// Parallel executor for sweep specs. See the module docs.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
@@ -79,19 +119,40 @@ impl Default for SweepRunner {
     }
 }
 
+/// Parses a `MOCC_SWEEP_THREADS` value: `None` (unset) defers to
+/// auto-detection, otherwise the value must be a positive integer.
+/// Silent fallback on a typo would quietly run a different sharding
+/// than the operator asked for, so malformed values are an error.
+pub fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "{THREADS_ENV}={v:?} is not a positive integer; \
+                 unset it for auto-detection or set N >= 1"
+            )),
+        },
+    }
+}
+
 impl SweepRunner {
     /// A runner with the worker count resolved from the environment
     /// (`MOCC_SWEEP_THREADS`) or the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if `MOCC_SWEEP_THREADS` is set to
+    /// anything but a positive integer.
     pub fn auto() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let env = std::env::var(THREADS_ENV).ok();
+        let threads = match parse_threads(env.as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Err(msg) => panic!("{msg}"),
+        };
         SweepRunner { threads }
     }
 
@@ -115,20 +176,46 @@ impl SweepRunner {
         controller: &str,
         factory: &dyn CellFactory,
     ) -> SweepReport {
+        self.run_evaluator(spec, controller, &FactoryEvaluator { factory })
+    }
+
+    /// Runs every cell of `spec` through `evaluator`, handing each
+    /// worker contiguous chunks of [`CellEvaluator::batch_size`] cells
+    /// so batched evaluators can amortize inference across a chunk.
+    /// Results are slotted back by cell index: the report is
+    /// byte-identical for any worker count and any batch size.
+    pub fn run_evaluator(
+        &self,
+        spec: &SweepSpec,
+        controller: &str,
+        evaluator: &dyn CellEvaluator,
+    ) -> SweepReport {
         let cells = spec.expand();
         let n = cells.len();
-        let workers = self.threads.min(n.max(1));
+        let batch = evaluator.batch_size().max(1);
+        let chunks = n.div_ceil(batch).max(1);
+        let workers = self.threads.min(chunks);
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; n]);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
                         break;
                     }
-                    let report = run_cell(&cells[i], factory);
-                    slots.lock().expect("slot lock")[i] = Some(report);
+                    let lo = c * batch;
+                    let hi = (lo + batch).min(n);
+                    let reports = evaluator.eval_batch(&cells[lo..hi]);
+                    assert_eq!(
+                        reports.len(),
+                        hi - lo,
+                        "evaluator must return one report per cell"
+                    );
+                    let mut locked = slots.lock().expect("slot lock");
+                    for (i, r) in reports.into_iter().enumerate() {
+                        locked[lo + i] = Some(r);
+                    }
                 });
             }
         });
@@ -214,5 +301,39 @@ mod tests {
     fn thread_resolution() {
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);
         assert!(SweepRunner::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn thread_env_parsing_is_strict() {
+        assert_eq!(parse_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("3")), Ok(Some(3)));
+        for bad in ["0", "-1", "four", "4.5", ""] {
+            let err = parse_threads(Some(bad)).unwrap_err();
+            assert!(err.contains(THREADS_ENV), "{err}");
+            assert!(err.contains("positive integer"), "{err}");
+        }
+    }
+
+    /// A batched evaluator (chunks of 4) must produce a report
+    /// byte-identical to the per-cell factory path — chunking is pure
+    /// scheduling.
+    #[test]
+    fn chunked_evaluator_matches_factory_byte_for_byte() {
+        struct Chunky;
+        impl CellEvaluator for Chunky {
+            fn batch_size(&self) -> usize {
+                4
+            }
+            fn eval_batch(&self, cells: &[SweepCell]) -> Vec<CellReport> {
+                cells.iter().map(|c| run_cell(c, &aimd_factory)).collect()
+            }
+        }
+        let spec = small_spec();
+        let via_factory = SweepRunner::with_threads(2).run(&spec, "aimd", &aimd_factory);
+        let via_chunks = SweepRunner::with_threads(3).run_evaluator(&spec, "aimd", &Chunky);
+        assert_eq!(
+            via_factory.to_canonical_json(),
+            via_chunks.to_canonical_json()
+        );
     }
 }

@@ -42,7 +42,7 @@ pub mod optim;
 pub mod rng;
 
 pub use matrix::Matrix;
-pub use mlp::{Activation, Dense, ForwardCache, Mlp};
+pub use mlp::{Activation, Dense, ForwardCache, Mlp, MlpScratch};
 pub use network::Network;
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use rng::{gaussian_entropy, gaussian_log_prob, normal, randn};

@@ -8,6 +8,13 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Depth-blocking edge for the blocked matmul kernels: a 64-deep slice
+/// of the right-hand operand (≤ 64 × 64 × 4 B = 16 KiB) stays resident
+/// in L1 while every output row streams over it. Blocks are visited in
+/// ascending order, so per-element accumulation order — and therefore
+/// every bit of the result — is identical to the naive triple loop.
+pub(crate) const K_BLOCK: usize = 64;
+
 /// A dense `rows × cols` matrix of `f32` in row-major order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -17,6 +24,14 @@ pub struct Matrix {
     pub cols: usize,
     /// Row-major storage, `data[r * cols + c]`.
     pub data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// An empty 0 × 0 matrix (a reusable scratch buffer in its initial
+    /// state).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl Matrix {
@@ -84,28 +99,48 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes to `rows × cols` reusing the existing allocation. The
+    /// contents are unspecified afterwards — callers overwrite every
+    /// element. No allocation occurs once the buffer has grown to its
+    /// steady-state size.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` and zeroes every element, reusing the
+    /// existing allocation.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.reshape(rows, cols);
+        self.fill_zero();
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(r);
-                for c in 0..other.cols {
-                    out_row[c] += a * orow[c];
-                }
-            }
-        }
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// Matrix product `self · other` written into `out` (reshaped to
+    /// fit, allocation-free at steady state). Inner loops are blocked
+    /// over the shared dimension in ascending `K_BLOCK` tiles, which
+    /// keeps the active slice of `other` cache-resident while leaving
+    /// the per-element accumulation order — and hence every result bit
+    /// — identical to the naive loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        out.reshape_zeroed(self.rows, other.cols);
+        Matrix::accumulate(self, other, out);
     }
 
     /// `selfᵀ · other`, without materializing the transpose.
@@ -181,6 +216,38 @@ impl Matrix {
         }
     }
 
+    /// Accumulates `x · w` into the pre-initialized `out` (`+=`, not
+    /// `=`): the one blocked kernel behind both [`Matrix::matmul_into`]
+    /// (zero-initialized `out`) and the bias-initialized dense-layer
+    /// forward in `mlp.rs` — a single implementation is what keeps the
+    /// "batched == scalar, bitwise" contract from depending on two
+    /// hand-synchronized copies of the same loop. Blocks the shared
+    /// dimension in ascending `K_BLOCK` tiles so the active slice of
+    /// `w` stays cache-resident across rows; per-element accumulation
+    /// order is ascending `k`, identical to the naive triple loop.
+    pub(crate) fn accumulate(x: &Matrix, w: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(x.cols, w.rows);
+        debug_assert_eq!(out.rows, x.rows);
+        debug_assert_eq!(out.cols, w.cols);
+        let width = w.cols;
+        for kk in (0..x.cols).step_by(K_BLOCK) {
+            let kend = (kk + K_BLOCK).min(x.cols);
+            for r in 0..x.rows {
+                let xrow = x.row(r);
+                let out_row = &mut out.data[r * width..(r + 1) * width];
+                for (dk, &a) in xrow[kk..kend].iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let wrow = w.row(kk + dk);
+                    for (o, &b) in out_row.iter_mut().zip(wrow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+    }
+
     /// Sums each column into a vector of length `cols`.
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
@@ -227,6 +294,21 @@ impl Matrix {
             out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
         }
         out
+    }
+
+    /// Copies columns `[from, to)` into `out` (reshaped to fit,
+    /// allocation-free at steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_cols_into(&self, from: usize, to: usize, out: &mut Matrix) {
+        assert!(from <= to && to <= self.cols, "column range out of bounds");
+        out.reshape(self.rows, to - from);
+        for r in 0..self.rows {
+            let src = &self.row(r)[from..to];
+            out.row_mut(r).copy_from_slice(src);
+        }
     }
 
     /// Sets every element to zero.
@@ -306,5 +388,57 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// The blocked kernel must agree with the naive triple loop to the
+    /// last bit, including across the K_BLOCK boundary.
+    #[test]
+    fn matmul_into_bitwise_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (m, k, n) in [(3, 5, 4), (2, K_BLOCK + 7, 9), (1, 200, 33)] {
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f32..1.0));
+            // Naive reference with the documented accumulation order.
+            let mut naive = Matrix::zeros(m, n);
+            for r in 0..m {
+                for kk in 0..k {
+                    let x = a.get(r, kk);
+                    for c in 0..n {
+                        let v = naive.get(r, c) + x * b.get(kk, c);
+                        naive.set(r, c, v);
+                    }
+                }
+            }
+            let mut out = Matrix::default();
+            a.matmul_into(&b, &mut out);
+            for (x, y) in out.data.iter().zip(&naive.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "blocked kernel drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_across_shapes() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let mut out = Matrix::zeros(5, 5); // Wrong shape, stale contents.
+        out.map_inplace(|_| 99.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.rows, 2);
+        assert_eq!(out.cols, 2);
+        assert_eq!(out.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn reshape_and_copy_cols() {
+        let a = m(2, 4, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let mut out = Matrix::default();
+        a.copy_cols_into(1, 3, &mut out);
+        assert_eq!(out.rows, 2);
+        assert_eq!(out.cols, 2);
+        assert_eq!(out.data, vec![2., 3., 6., 7.]);
+        let mut z = Matrix::default();
+        z.reshape_zeroed(2, 2);
+        assert_eq!(z.data, vec![0.0; 4]);
     }
 }

@@ -85,6 +85,61 @@ impl Dense {
             self.gb = Some(vec![0.0; self.b.len()]);
         }
     }
+
+    /// One input row through the layer: `out = act(b + x · W)`,
+    /// skipping zero inputs. This is the single kernel every inference
+    /// path shares — scalar and batched forwards are bitwise identical
+    /// because they both reduce to it (bias first, then weight rows in
+    /// ascending input order).
+    #[inline]
+    fn forward_row_into(&self, x: &[f32], out: &mut [f32]) {
+        out.copy_from_slice(&self.b);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let wrow = self.w.row(i);
+            for (o, &w) in out.iter_mut().zip(wrow) {
+                *o += xi * w;
+            }
+        }
+        for o in out {
+            *o = self.act.apply(*o);
+        }
+    }
+
+    /// Batched layer application `out = act(bias ⊕ x · W)`, reshaping
+    /// `out` to fit (allocation-free at steady state). The accumulation
+    /// is [`Matrix::accumulate`] — the same blocked kernel behind
+    /// `matmul_into` — over bias-initialized rows, so per-element order
+    /// matches [`Dense::forward_row_into`] exactly and every output row
+    /// is bitwise identical to the scalar path.
+    fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols, self.w.rows, "layer input dimension mismatch");
+        out.reshape(x.rows, self.w.cols);
+        for r in 0..x.rows {
+            out.row_mut(r).copy_from_slice(&self.b);
+        }
+        Matrix::accumulate(x, &self.w, out);
+        for o in &mut out.data {
+            *o = self.act.apply(*o);
+        }
+    }
+}
+
+/// Reusable buffers for allocation-free inference. One scratch serves
+/// any number of [`Mlp::forward_into`] / [`Mlp::forward_batch_into`]
+/// calls; buffers grow to the largest layer width seen and are then
+/// reused verbatim. Cheap to create, but meant to live as long as the
+/// caller's inference loop.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    /// Ping-pong row buffers for the scalar path.
+    v0: Vec<f32>,
+    v1: Vec<f32>,
+    /// Ping-pong activation matrices for the batched path.
+    m0: Matrix,
+    m1: Matrix,
 }
 
 /// Forward-pass cache: the input and each layer's post-activation
@@ -154,26 +209,51 @@ impl Mlp {
     }
 
     /// Single-sample forward pass (no cache) — the inference path used
-    /// by the deployed congestion controller.
+    /// by the deployed congestion controller. Allocates per call;
+    /// steady-state callers should hold an [`MlpScratch`] and use
+    /// [`Mlp::forward_into`] instead (bitwise-identical results).
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
+        let mut scratch = MlpScratch::default();
+        self.forward_into(x, &mut scratch).to_vec()
+    }
+
+    /// Single-sample forward pass into reusable scratch buffers —
+    /// allocation-free once the scratch has warmed up. Returns the
+    /// output slice (borrowed from `scratch`), bitwise identical to
+    /// [`Mlp::forward`].
+    pub fn forward_into<'s>(&self, x: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        scratch.v0.clear();
+        scratch.v0.extend_from_slice(x);
         for layer in &self.layers {
-            let mut next = layer.b.clone();
-            for (i, &xi) in cur.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let wrow = layer.w.row(i);
-                for (n, &w) in next.iter_mut().zip(wrow) {
-                    *n += xi * w;
-                }
-            }
-            for n in &mut next {
-                *n = layer.act.apply(*n);
-            }
-            cur = next;
+            // Length-set only: forward_row_into overwrites every
+            // element starting from the bias, so zeroing would be a
+            // wasted memset on the per-interval inference hot path.
+            scratch.v1.resize(layer.w.cols, 0.0);
+            layer.forward_row_into(&scratch.v0, &mut scratch.v1);
+            std::mem::swap(&mut scratch.v0, &mut scratch.v1);
         }
-        cur
+        &scratch.v0
+    }
+
+    /// Batched inference without a backprop cache: `x` is one
+    /// observation per row, `out` receives one output row per input row
+    /// (reshaped to fit). Allocation-free at steady state, and each
+    /// output row is bitwise identical to [`Mlp::forward`] of the
+    /// corresponding input row — one matmul serves many flows or sweep
+    /// cells without perturbing a single trajectory.
+    pub fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut MlpScratch) {
+        assert_eq!(x.cols, self.in_dim(), "batch input dimension mismatch");
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward_batch_into(x, out);
+            return;
+        }
+        self.layers[0].forward_batch_into(x, &mut scratch.m0);
+        for layer in &self.layers[1..n - 1] {
+            layer.forward_batch_into(&scratch.m0, &mut scratch.m1);
+            std::mem::swap(&mut scratch.m0, &mut scratch.m1);
+        }
+        self.layers[n - 1].forward_batch_into(&scratch.m0, out);
     }
 
     /// Backpropagates `grad_out` (∂L/∂output, same shape as the cached
@@ -283,6 +363,55 @@ mod tests {
         assert_eq!(mlp.param_count(), 5 * 64 + 64 + 64 * 32 + 32 + 32 * 2 + 2);
         let y = mlp.forward(&[0.1, -0.2, 0.3, 0.0, 1.0]);
         assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn forward_into_bitwise_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for sizes in [&[5, 64, 32, 1][..], &[3, 8, 2], &[4, 4]] {
+            let mlp = Mlp::new(sizes, Activation::Tanh, Activation::Linear, &mut rng);
+            let x: Vec<f32> = (0..sizes[0]).map(|i| (i as f32 - 1.5) * 0.3).collect();
+            let mut scratch = MlpScratch::default();
+            let a = mlp.forward(&x);
+            let b = mlp.forward_into(&x, &mut scratch).to_vec();
+            // Twice through the same scratch: warm buffers must not leak.
+            let c = mlp.forward_into(&x, &mut scratch).to_vec();
+            for ((p, q), r) in a.iter().zip(&b).zip(&c) {
+                assert_eq!(p.to_bits(), q.to_bits());
+                assert_eq!(p.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_into_bitwise_matches_scalar_rows() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (sizes, rows) in [
+            (&[5, 64, 32, 1][..], 7usize),
+            (&[3, 8, 2], 70), // spans a K_BLOCK boundary inside no layer, many rows
+            (&[6, 6], 3),     // single-layer network
+        ] {
+            let mlp = Mlp::new(sizes, Activation::Tanh, Activation::Linear, &mut rng);
+            let batch = Matrix::from_fn(rows, sizes[0], |r, c| {
+                // Include exact zeros to exercise the sparsity skip.
+                if (r + c) % 5 == 0 {
+                    0.0
+                } else {
+                    ((r * 31 + c * 7) % 13) as f32 * 0.21 - 1.2
+                }
+            });
+            let mut scratch = MlpScratch::default();
+            let mut out = Matrix::default();
+            mlp.forward_batch_into(&batch, &mut out, &mut scratch);
+            assert_eq!(out.rows, rows);
+            assert_eq!(out.cols, *sizes.last().unwrap());
+            for r in 0..rows {
+                let single = mlp.forward(batch.row(r));
+                for (a, b) in single.iter().zip(out.row(r)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r} drifted");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,12 +8,18 @@
 //! in `mocc-core` by wiring two MLPs together.
 
 use crate::matrix::Matrix;
-use crate::mlp::{ForwardCache, Mlp};
+use crate::mlp::{ForwardCache, Mlp, MlpScratch};
 
 /// A differentiable network trainable by gradient descent.
 pub trait Network: Clone + Send {
     /// Opaque forward-pass cache consumed by [`Network::backward`].
     type Cache;
+
+    /// Reusable inference buffers consumed by [`Network::forward_into`]
+    /// and [`Network::forward_batch_into`]. Implementations size the
+    /// scratch lazily; a `Default` scratch works with any network of
+    /// the implementing type.
+    type Scratch: Default + Clone + Send;
 
     /// Input dimensionality.
     fn in_dim(&self) -> usize;
@@ -23,6 +29,17 @@ pub trait Network: Clone + Send {
 
     /// Single-sample forward pass (inference path).
     fn forward(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Single-sample forward pass into `out` using reusable `scratch`
+    /// buffers — allocation-free at steady state and bitwise identical
+    /// to [`Network::forward`].
+    fn forward_into(&self, x: &[f32], out: &mut Vec<f32>, scratch: &mut Self::Scratch);
+
+    /// Batched inference without a backprop cache: one observation per
+    /// row of `x`, one output per row of `out` (reshaped to fit). Each
+    /// output row is bitwise identical to [`Network::forward`] of the
+    /// corresponding input row.
+    fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut Self::Scratch);
 
     /// Batched forward pass returning a cache for backprop.
     fn forward_batch(&self, x: &Matrix) -> Self::Cache;
@@ -47,6 +64,7 @@ pub trait Network: Clone + Send {
 
 impl Network for Mlp {
     type Cache = ForwardCache;
+    type Scratch = MlpScratch;
 
     fn in_dim(&self) -> usize {
         Mlp::in_dim(self)
@@ -58,6 +76,16 @@ impl Network for Mlp {
 
     fn forward(&self, x: &[f32]) -> Vec<f32> {
         Mlp::forward(self, x)
+    }
+
+    fn forward_into(&self, x: &[f32], out: &mut Vec<f32>, scratch: &mut MlpScratch) {
+        let y = Mlp::forward_into(self, x, scratch);
+        out.clear();
+        out.extend_from_slice(y);
+    }
+
+    fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut MlpScratch) {
+        Mlp::forward_batch_into(self, x, out, scratch)
     }
 
     fn forward_batch(&self, x: &Matrix) -> ForwardCache {

@@ -31,6 +31,6 @@ pub mod rollout;
 
 pub use dqn::{Dqn, DqnConfig};
 pub use env::Env;
-pub use policy::GaussianPolicy;
+pub use policy::{GaussianPolicy, PolicyScratch};
 pub use ppo::{collect_rollout, collect_rollouts_parallel, Ppo, PpoConfig, PpoStats};
 pub use rollout::{normalize, Rollout};

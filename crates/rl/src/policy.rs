@@ -8,13 +8,40 @@
 //! used as the mean network.
 
 use mocc_nn::rng::{gaussian_entropy, gaussian_log_prob, normal};
-use mocc_nn::{Mlp, Network};
+use mocc_nn::{Matrix, Mlp, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameter slot used for the log-std scalar when iterating policy
 /// parameters (chosen to never collide with network slots).
 pub const LOG_STD_SLOT: usize = usize::MAX - 1;
+
+/// Reusable buffers for allocation-free (batched) policy inference:
+/// the network's own scratch plus the batched-mean output matrix. One
+/// scratch serves any number of [`GaussianPolicy::act_batch`] /
+/// [`GaussianPolicy::mean_action_batch`] calls.
+pub struct PolicyScratch<N: Network> {
+    net: N::Scratch,
+    means: Matrix,
+}
+
+impl<N: Network> Default for PolicyScratch<N> {
+    fn default() -> Self {
+        PolicyScratch {
+            net: N::Scratch::default(),
+            means: Matrix::default(),
+        }
+    }
+}
+
+impl<N: Network> Clone for PolicyScratch<N> {
+    fn clone(&self) -> Self {
+        PolicyScratch {
+            net: self.net.clone(),
+            means: self.means.clone(),
+        }
+    }
+}
 
 /// A diagonal-Gaussian policy with learned state-independent log-std.
 #[derive(Debug, Clone)]
@@ -102,6 +129,45 @@ impl<N: Network> GaussianPolicy<N> {
         (a, gaussian_log_prob(a, mean, std))
     }
 
+    /// Deterministic actions for a whole batch: one observation per row
+    /// of `obs`, one mean per entry of `out`. One batched matmul serves
+    /// every row, and each entry is bitwise identical to
+    /// [`GaussianPolicy::mean_action`] on that row — batching flows or
+    /// sweep cells cannot perturb a trajectory.
+    pub fn mean_action_batch(
+        &self,
+        obs: &Matrix,
+        out: &mut Vec<f32>,
+        scratch: &mut PolicyScratch<N>,
+    ) {
+        self.net
+            .forward_batch_into(obs, &mut scratch.means, &mut scratch.net);
+        out.clear();
+        out.extend((0..scratch.means.rows).map(|r| scratch.means.get(r, 0)));
+    }
+
+    /// Samples one `(action, log_prob)` per row of `obs`. Rows are
+    /// sampled in order from `rng`, so the result — including the RNG
+    /// stream — is bitwise identical to calling [`GaussianPolicy::act`]
+    /// on each row in sequence.
+    pub fn act_batch<R: Rng>(
+        &self,
+        obs: &Matrix,
+        rng: &mut R,
+        out: &mut Vec<(f32, f32)>,
+        scratch: &mut PolicyScratch<N>,
+    ) {
+        self.net
+            .forward_batch_into(obs, &mut scratch.means, &mut scratch.net);
+        let std = self.std();
+        out.clear();
+        out.extend((0..scratch.means.rows).map(|r| {
+            let mean = scratch.means.get(r, 0);
+            let a = normal(rng, mean, std);
+            (a, gaussian_log_prob(a, mean, std))
+        }));
+    }
+
     /// Log-probability of `action` at `obs` under the current policy.
     pub fn log_prob(&self, obs: &[f32], action: f32) -> f32 {
         gaussian_log_prob(action, self.mean_action(obs), self.std())
@@ -159,6 +225,51 @@ mod tests {
         let obs = [1.0, 0.0];
         let m = pol.mean_action(&obs);
         assert!(pol.log_prob(&obs, m) > pol.log_prob(&obs, m + 3.0 * pol.std()));
+    }
+
+    #[test]
+    fn act_batch_bitwise_matches_scalar_act() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pol = GaussianPolicy::new(4, &[8, 6], &mut rng);
+        let rows = 9;
+        let obs = Matrix::from_fn(rows, 4, |r, c| {
+            if (r + c) % 3 == 0 {
+                0.0
+            } else {
+                ((r * 7 + c) % 5) as f32 * 0.4 - 0.9
+            }
+        });
+        // Two fresh RNGs with the same seed: the batched path must
+        // consume the stream exactly like the sequential scalar path.
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let mut scratch = PolicyScratch::default();
+        let mut batched = Vec::new();
+        pol.act_batch(&obs, &mut rng_a, &mut batched, &mut scratch);
+        assert_eq!(batched.len(), rows);
+        for (r, &(a, lp)) in batched.iter().enumerate() {
+            let (sa, slp) = pol.act(obs.row(r), &mut rng_b);
+            assert_eq!(a.to_bits(), sa.to_bits(), "action row {r}");
+            assert_eq!(lp.to_bits(), slp.to_bits(), "log_prob row {r}");
+        }
+    }
+
+    #[test]
+    fn mean_action_batch_bitwise_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pol = GaussianPolicy::new(3, &[8], &mut rng);
+        let obs = Matrix::from_fn(6, 3, |r, c| (r as f32 - 2.0) * 0.3 + c as f32 * 0.1);
+        let mut scratch = PolicyScratch::default();
+        let mut means = Vec::new();
+        pol.mean_action_batch(&obs, &mut means, &mut scratch);
+        // A second pass through warm scratch must not drift either.
+        let mut means2 = Vec::new();
+        pol.mean_action_batch(&obs, &mut means2, &mut scratch);
+        for r in 0..obs.rows {
+            let m = pol.mean_action(obs.row(r));
+            assert_eq!(m.to_bits(), means[r].to_bits(), "row {r}");
+            assert_eq!(m.to_bits(), means2[r].to_bits(), "warm row {r}");
+        }
     }
 
     #[test]

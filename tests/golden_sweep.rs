@@ -16,7 +16,8 @@
 //! scheduling-dependent nondeterminism fails the build.
 
 use mocc::eval::{
-    CellReport, FlowLoad, SweepCell, SweepReport, SweepRunner, SweepSpec, TraceShape,
+    run_cell, BaselineFactory, CellEvaluator, CellReport, FlowLoad, SweepCell, SweepReport,
+    SweepRunner, SweepSpec, TraceShape,
 };
 use mocc::netsim::cc::{Aimd, CongestionControl};
 use std::path::PathBuf;
@@ -135,23 +136,48 @@ fn golden_copa() {
     check_golden("copa");
 }
 
+/// The batched execution path cannot disturb the goldens: running the
+/// frozen golden spec through `run_evaluator` with multi-cell chunks
+/// must reproduce every committed fixture byte for byte. (The learned
+/// policy's batched-inference equivalence is pinned separately by the
+/// `act_batch` property test and the `BatchMoccEvaluator` unit tests;
+/// this guards the sweep-runner side of the contract.)
+#[test]
+fn golden_fixtures_byte_identical_via_batched_runner() {
+    struct ChunkedBaseline {
+        factory: BaselineFactory,
+    }
+    impl CellEvaluator for ChunkedBaseline {
+        fn batch_size(&self) -> usize {
+            8
+        }
+        fn eval_batch(&self, cells: &[SweepCell]) -> Vec<CellReport> {
+            cells.iter().map(|c| run_cell(c, &self.factory)).collect()
+        }
+    }
+    for name in CONTROLLERS {
+        let fixture = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
+        let evaluator = ChunkedBaseline {
+            factory: BaselineFactory::new(name),
+        };
+        let got = SweepRunner::auto().run_evaluator(&golden_spec(), name, &evaluator);
+        assert_eq!(
+            got.to_canonical_json(),
+            fixture,
+            "{name}: batched runner drifted from the golden fixture"
+        );
+    }
+}
+
 /// Acceptance gate for the harness itself: a 64-cell matrix sharded
 /// over 4 threads produces canonical JSON byte-identical to a
-/// single-threaded run of the same spec.
+/// single-threaded run of the same spec. The spec is the perf
+/// harness's frozen reference sweep — one definition serves both the
+/// byte-identity gate and the throughput baseline, so they can never
+/// measure different work.
 #[test]
 fn parallel_sweep_is_byte_identical_to_serial() {
-    let spec = SweepSpec {
-        bandwidth_mbps: vec![2.0, 4.0],
-        owd_ms: vec![10, 30],
-        queue_pkts: vec![50, 200],
-        loss: vec![0.0, 0.01],
-        shapes: vec![TraceShape::Constant, TraceShape::Square { period_s: 2.0 }],
-        loads: vec![FlowLoad::Steady(1), FlowLoad::Steady(2)],
-        duration_s: 4,
-        mss_bytes: 1500,
-        seed: 11,
-        agent_mi: false,
-    };
+    let spec = mocc_bench::perf::reference_sweep();
     assert_eq!(spec.cell_count(), 64);
     let factory = |cell: &SweepCell| {
         (0..cell.scenario.flows.len())

@@ -5,7 +5,11 @@ use mocc::eval::{FlowLoad, SweepCell, SweepRunner, SweepSpec, TraceShape};
 use mocc::netsim::cc::{Aimd, CongestionControl, FixedRate};
 use mocc::netsim::metrics::jain_index;
 use mocc::netsim::{Scenario, Simulator};
+use mocc::nn::Matrix;
+use mocc::rl::{GaussianPolicy, PolicyScratch};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -122,6 +126,42 @@ proptest! {
         for w in &pts {
             prop_assert!(w.thr > 0.0 && w.lat > 0.0 && w.loss > 0.0);
             prop_assert!((w.thr + w.lat + w.loss - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// Batched policy inference is bitwise identical to the scalar
+    /// path — across layer shapes, batch sizes, and RNG streams. This
+    /// pins the contract that batching flows/cells can never perturb a
+    /// trajectory.
+    #[test]
+    fn act_batch_bitwise_equals_scalar(
+        net_seed in 0u64..1_000,
+        rng_seed in 0u64..1_000,
+        obs_dim in 1usize..12,
+        h1 in 1usize..48,
+        h2 in 0usize..24,
+        rows in 1usize..40,
+    ) {
+        let mut nrng = StdRng::seed_from_u64(net_seed);
+        let hidden: Vec<usize> = if h2 == 0 { vec![h1] } else { vec![h1, h2] };
+        let pol = GaussianPolicy::new(obs_dim, &hidden, &mut nrng);
+        let obs = Matrix::from_fn(rows, obs_dim, |r, c| {
+            // Deterministic mix with exact zeros to hit the sparsity skip.
+            if (r + c) % 4 == 0 { 0.0 } else { ((r * 31 + c * 7) % 17) as f32 * 0.13 - 1.0 }
+        });
+        let mut scratch = PolicyScratch::default();
+        let mut batched = Vec::new();
+        let mut rng_batch = StdRng::seed_from_u64(rng_seed);
+        pol.act_batch(&obs, &mut rng_batch, &mut batched, &mut scratch);
+        let mut means = Vec::new();
+        pol.mean_action_batch(&obs, &mut means, &mut scratch);
+        let mut rng_scalar = StdRng::seed_from_u64(rng_seed);
+        prop_assert_eq!(batched.len(), rows);
+        for r in 0..rows {
+            let (a, lp) = pol.act(obs.row(r), &mut rng_scalar);
+            prop_assert_eq!(batched[r].0.to_bits(), a.to_bits());
+            prop_assert_eq!(batched[r].1.to_bits(), lp.to_bits());
+            prop_assert_eq!(means[r].to_bits(), pol.mean_action(obs.row(r)).to_bits());
         }
     }
 

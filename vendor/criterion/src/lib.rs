@@ -22,16 +22,38 @@ use std::time::{Duration, Instant};
 /// Environment variable fixing the per-sample iteration count.
 pub const FIXED_ITERS_ENV: &str = "MOCC_BENCH_FIXED_ITERS";
 
+/// Parses a `MOCC_BENCH_FIXED_ITERS` value: `None` (unset) selects
+/// adaptive timing; a set value must be a positive integer. A silent
+/// fallback on a typo would quietly run an adaptive (machine-dependent)
+/// workload where CI expected a pinned one, so malformed values are an
+/// error.
+pub fn parse_fixed_iters(raw: Option<&str>) -> Result<Option<u64>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "{FIXED_ITERS_ENV}={v:?} is not a positive integer; \
+                 unset it for adaptive timing or set N >= 1"
+            )),
+        },
+    }
+}
+
 /// The parsed `MOCC_BENCH_FIXED_ITERS` value, read once per process.
-/// `None` means adaptive timing (the default); invalid or zero values
-/// are treated as unset.
+/// `None` means adaptive timing (the default).
+///
+/// # Panics
+///
+/// Panics with a clear message on unparsable or zero values.
 fn fixed_iters() -> Option<u64> {
     static FIXED: OnceLock<Option<u64>> = OnceLock::new();
     *FIXED.get_or_init(|| {
-        std::env::var(FIXED_ITERS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .filter(|&n| n > 0)
+        let raw = std::env::var(FIXED_ITERS_ENV).ok();
+        match parse_fixed_iters(raw.as_deref()) {
+            Ok(v) => v,
+            Err(msg) => panic!("{msg}"),
+        }
     })
 }
 
@@ -244,6 +266,17 @@ mod tests {
         let mut c = Criterion::default().sample_size(3);
         c.filter = None; // test harness args must not filter benches
         quick(&mut c);
+    }
+
+    #[test]
+    fn fixed_iters_parsing_is_strict() {
+        assert_eq!(parse_fixed_iters(None), Ok(None));
+        assert_eq!(parse_fixed_iters(Some("8")), Ok(Some(8)));
+        for bad in ["0", "-3", "two", "1.5", ""] {
+            let err = parse_fixed_iters(Some(bad)).unwrap_err();
+            assert!(err.contains(FIXED_ITERS_ENV), "{err}");
+            assert!(err.contains("positive integer"), "{err}");
+        }
     }
 
     #[test]
