@@ -1,12 +1,22 @@
 //! Runs every figure binary in sequence, mirroring the full §6
-//! evaluation. Equivalent to invoking `fig1` … `fig19` by hand; models
-//! are trained once and cached, so the first figure pays the training
-//! cost and the rest reuse it.
+//! evaluation. Equivalent to invoking `fig1` … `fig19` (plus the
+//! `competition` matrix) by hand; models are trained once and cached,
+//! so the first figure pays the training cost and the rest reuse it.
 
 use std::process::Command;
 
 const FIGURES: &[&str] = &[
-    "fig1", "fig5", "fig6", "fig7", "fig8_10", "fig11_15", "fig16", "fig17", "fig18", "fig19",
+    "fig1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8_10",
+    "fig11_15",
+    "competition",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
 ];
 
 fn main() {

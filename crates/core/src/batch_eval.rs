@@ -11,12 +11,22 @@
 //! bitwise identical to a batch of one — the batched forward is pinned
 //! (by property test) to equal the scalar path bit for bit, and each
 //! simulator only ever consumes its own decisions.
+//!
+//! The same evaluator also implements
+//! [`mocc_eval::CompetitionEvaluator`]: in competition cells every
+//! `mocc`/`mocc:<pref>`-labelled flow runs in external-agent mode, so
+//! several preference-conditioned MOCC flows can *compete* on one
+//! bottleneck while the chunk's monitor-interval decisions are still
+//! served from batched forward passes.
 
 use crate::agent::{stats_features, write_obs, MoccAgent};
 use crate::config::MoccConfig;
 use crate::preference::Preference;
 use crate::prefnet::PrefNet;
-use mocc_eval::{CellEvaluator, CellReport, SweepCell};
+use mocc_eval::{
+    competition_report, contender_by_name, CellEvaluator, CellReport, CompetitionCell,
+    CompetitionEvaluator, SweepCell,
+};
 use mocc_netsim::cc::{CongestionControl, ExternalRate, FixedRate};
 use mocc_netsim::Simulator;
 use mocc_nn::Matrix;
@@ -53,6 +63,25 @@ impl BatchMoccEvaluator {
     pub fn with_batch_size(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
         self
+    }
+
+    /// Resolves a competition contender label to a MOCC preference:
+    /// `mocc` uses the evaluator's default preference, `mocc:<spec>`
+    /// parses the spec ([`Preference::parse`]). `None` for non-MOCC
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `mocc:` spec — a typo'd preference must
+    /// not silently fall through to the baseline registry.
+    fn mocc_pref(&self, label: &str) -> Option<Preference> {
+        if label == "mocc" {
+            return Some(self.pref);
+        }
+        label.strip_prefix("mocc:").map(|spec| {
+            Preference::parse(spec)
+                .unwrap_or_else(|| panic!("malformed MOCC contender label {label:?}"))
+        })
     }
 }
 
@@ -143,6 +172,157 @@ impl CellEvaluator for BatchMoccEvaluator {
     }
 }
 
+/// Per-flow state of one externally driven (MOCC) flow in a
+/// competition cell.
+struct MoccFlow {
+    flow: usize,
+    pref: Preference,
+    history: VecDeque<[f32; 3]>,
+}
+
+/// Per-cell in-flight state while a competition batch runs.
+struct CompetitionRun {
+    index: usize,
+    sim: Simulator,
+    /// `controlled[f]` marks flow `f` as policy-driven.
+    controlled: Vec<bool>,
+    mocc: Vec<MoccFlow>,
+    /// The flow whose monitor interval paused the simulator this round.
+    paused: usize,
+}
+
+/// Competition cells through the same batched policy: every flow whose
+/// label is `mocc` / `mocc:<pref>` runs in external-agent mode — so one
+/// cell may hold *several* competing MOCC flows with different
+/// preferences — and every paused flow across the whole chunk is
+/// served from one batched forward pass per lockstep round. Non-MOCC
+/// labels resolve through the `mocc-cc` baseline registry. Each cell's
+/// decision sequence depends only on its own event order, so reports
+/// stay byte-identical across batch sizes and worker counts.
+impl CompetitionEvaluator for BatchMoccEvaluator {
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn eval_batch(&self, cells: &[CompetitionCell]) -> Vec<CellReport> {
+        let obs_dim = self.cfg.obs_dim();
+        let mut scratch = PolicyScratch::default();
+        let mut obs = Matrix::default();
+        let mut means: Vec<f32> = Vec::with_capacity(cells.len());
+        let mut reports: Vec<Option<CellReport>> = (0..cells.len()).map(|_| None).collect();
+
+        let mut runs: Vec<CompetitionRun> = cells
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| {
+                let peak = cell.scenario.link.trace.max_rate();
+                let mut controlled = vec![false; cell.labels.len()];
+                let mut mocc = Vec::new();
+                let ccs: Vec<Box<dyn CongestionControl>> = cell
+                    .labels
+                    .iter()
+                    .enumerate()
+                    .map(|(flow, label)| -> Box<dyn CongestionControl> {
+                        if let Some(pref) = self.mocc_pref(label) {
+                            controlled[flow] = true;
+                            mocc.push(MoccFlow {
+                                flow,
+                                pref,
+                                history: VecDeque::from(vec![[0.0; 3]; self.cfg.history]),
+                            });
+                            Box::new(ExternalRate {
+                                initial_rate_bps: self.initial_rate_frac * peak,
+                            })
+                        } else {
+                            contender_by_name(label).unwrap_or_else(|| {
+                                panic!("unknown contender {label:?}: not a mocc-cc baseline")
+                            })
+                        }
+                    })
+                    .collect();
+                CompetitionRun {
+                    index,
+                    sim: Simulator::new(cell.scenario.clone(), ccs),
+                    controlled,
+                    mocc,
+                    paused: 0,
+                }
+            })
+            .collect();
+
+        // Lockstep rounds: advance every live cell to the next monitor
+        // interval of *any* of its MOCC flows, stack one observation
+        // per paused cell (conditioned on that flow's preference and
+        // history), forward once, apply each decision to the flow that
+        // asked for it.
+        while !runs.is_empty() {
+            let mut i = 0;
+            while i < runs.len() {
+                let cell = &cells[runs[i].index];
+                let finished = loop {
+                    let run = &mut runs[i];
+                    let CompetitionRun {
+                        sim, controlled, ..
+                    } = run;
+                    match sim.advance_until_monitor_where(|f| controlled[f]) {
+                        Some((f, stats)) => {
+                            // A departed flow's monitor intervals keep
+                            // firing until the horizon; steering it
+                            // would be a no-op (it never sends again),
+                            // so its pauses are drained here instead
+                            // of spending batched inference on them.
+                            let departed = cell.scenario.flows[f]
+                                .stop
+                                .is_some_and(|stop| sim.now() >= stop);
+                            if departed {
+                                continue;
+                            }
+                            let mf = run
+                                .mocc
+                                .iter_mut()
+                                .find(|m| m.flow == f)
+                                .expect("paused flow is controlled");
+                            mf.history.pop_front();
+                            mf.history.push_back(stats_features(&stats));
+                            run.paused = f;
+                            break false;
+                        }
+                        None => break true,
+                    }
+                };
+                if finished {
+                    let run = runs.swap_remove(i);
+                    reports[run.index] = Some(competition_report(cell, &run.sim.result()));
+                } else {
+                    i += 1;
+                }
+            }
+            if runs.is_empty() {
+                break;
+            }
+            obs.reshape(runs.len(), obs_dim);
+            for (r, run) in runs.iter().enumerate() {
+                let mf = run
+                    .mocc
+                    .iter()
+                    .find(|m| m.flow == run.paused)
+                    .expect("paused flow is controlled");
+                write_obs(&mf.pref, &mf.history, obs.row_mut(r));
+            }
+            self.policy
+                .mean_action_batch(&obs, &mut means, &mut scratch);
+            for (run, &mean) in runs.iter_mut().zip(&means) {
+                let next = self.cfg.apply_action(run.sim.rate(run.paused), mean);
+                run.sim.set_rate(run.paused, next);
+            }
+        }
+        reports
+            .into_iter()
+            .map(|r| r.expect("every cell produced a report"))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,11 +372,80 @@ mod tests {
     #[test]
     fn policy_controls_the_rate() {
         let cells = spec().expand();
-        let reports = evaluator().eval_batch(&cells[..2]);
+        let reports = CellEvaluator::eval_batch(&evaluator(), &cells[..2]);
         assert_eq!(reports.len(), 2);
         for r in &reports {
             assert!(r.goodput_mbps > 0.0, "{r:?}");
             assert!(r.utilization > 0.0, "{r:?}");
         }
+    }
+
+    fn competition_spec() -> mocc_eval::CompetitionSpec {
+        use mocc_eval::{CompetitionSpec, ContenderMix};
+        CompetitionSpec {
+            mixes: vec![
+                ContenderMix::duel("mocc:thr", "mocc:lat"),
+                ContenderMix::duel("mocc:bal", "cubic"),
+                ContenderMix::staircase("mocc:bal", 2, 1.0),
+            ],
+            bandwidth_mbps: vec![8.0],
+            owd_ms: vec![10, 30],
+            duration_s: 4,
+            seed: 5,
+            ..CompetitionSpec::quick()
+        }
+    }
+
+    /// The competition determinism contract (acceptance criterion):
+    /// the report is byte-identical whether competing-MOCC cells are
+    /// evaluated one at a time on one worker or 8 at a time on four.
+    #[test]
+    fn competition_batch_size_cannot_change_the_report() {
+        let spec = competition_spec();
+        let single = SweepRunner::with_threads(1).run_competition_evaluator(
+            &spec,
+            "mocc-competition",
+            &evaluator().with_batch_size(1),
+        );
+        let batched = SweepRunner::with_threads(4).run_competition_evaluator(
+            &spec,
+            "mocc-competition",
+            &evaluator().with_batch_size(8),
+        );
+        assert_eq!(single.to_canonical_json(), batched.to_canonical_json());
+        assert_eq!(single.cells.len(), spec.cell_count());
+        assert!(single.cells.iter().all(|c| c.goodput_mbps > 0.0));
+    }
+
+    /// Mixed-preference MOCC pairs: both policy-driven flows move real
+    /// traffic (neither starves outright at this horizon) and the
+    /// competition metrics come out finite where defined.
+    #[test]
+    fn competing_mocc_flows_are_both_driven() {
+        let cells = competition_spec().expand();
+        let reports = CompetitionEvaluator::eval_batch(&evaluator(), &cells);
+        for r in &reports {
+            assert!(r.goodput_mbps > 0.0, "{r:?}");
+            assert!(r.jain > 0.0 && r.jain <= 1.0, "{r:?}");
+            if let Some(f) = r.friendliness {
+                assert!(f.is_finite() && f >= 0.0, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mocc_labels_parse_and_reject() {
+        let ev = evaluator();
+        assert_eq!(ev.mocc_pref("cubic"), None);
+        assert_eq!(ev.mocc_pref("mocc"), Some(Preference::throughput()));
+        assert_eq!(ev.mocc_pref("mocc:lat"), Some(Preference::latency()));
+        let w = ev.mocc_pref("mocc:0.5,0.3,0.2").unwrap();
+        assert!((w.thr - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed MOCC contender label")]
+    fn malformed_mocc_label_panics() {
+        let _ = evaluator().mocc_pref("mocc:fast");
     }
 }

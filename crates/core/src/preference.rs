@@ -66,6 +66,29 @@ impl Preference {
         [self.thr, self.lat, self.loss]
     }
 
+    /// Parses a preference spec string as used in contender labels:
+    /// the shorthands `thr`/`lat`/`bal` (the paper's example weight
+    /// vectors) or three comma-separated non-negative weights
+    /// (`"0.6,0.3,0.1"`, normalized to sum to one). Returns `None` for
+    /// anything else.
+    pub fn parse(spec: &str) -> Option<Self> {
+        match spec {
+            "thr" | "throughput" => Some(Self::throughput()),
+            "lat" | "latency" => Some(Self::latency()),
+            "bal" | "balanced" => Some(Self::balanced()),
+            _ => {
+                let weights: Vec<f32> = spec
+                    .split(',')
+                    .map(|w| w.trim().parse::<f32>().ok())
+                    .collect::<Option<_>>()?;
+                let valid = weights.len() == 3
+                    && weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+                    && weights.iter().sum::<f32>() > 0.0;
+                valid.then(|| Preference::new(weights[0], weights[1], weights[2]))
+            }
+        }
+    }
+
     /// L1 distance between two preferences.
     pub fn l1(&self, other: &Preference) -> f32 {
         (self.thr - other.thr).abs() + (self.lat - other.lat).abs() + (self.loss - other.loss).abs()
@@ -191,5 +214,20 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_weight_rejected() {
         let _ = Preference::new(-0.1, 0.6, 0.5);
+    }
+
+    #[test]
+    fn parse_accepts_shorthands_and_weight_triples() {
+        assert_eq!(Preference::parse("thr"), Some(Preference::throughput()));
+        assert_eq!(Preference::parse("lat"), Some(Preference::latency()));
+        assert_eq!(Preference::parse("bal"), Some(Preference::balanced()));
+        let w = Preference::parse("0.6, 0.3, 0.1").unwrap();
+        assert!((w.thr - 0.6).abs() < 1e-6 && (w.lat - 0.3).abs() < 1e-6);
+        // Normalization applies to raw triples.
+        let n = Preference::parse("2,1,1").unwrap();
+        assert!((n.thr - 0.5).abs() < 1e-6);
+        for bad in ["", "x", "1,2", "1,2,3,4", "-1,1,1", "0,0,0", "nan,1,1"] {
+            assert_eq!(Preference::parse(bad), None, "{bad:?}");
+        }
     }
 }

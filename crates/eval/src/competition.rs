@@ -1,0 +1,655 @@
+//! Multi-flow competition sweeps: fairness and friendliness.
+//!
+//! A [`CompetitionSpec`] is a scenario matrix whose innermost axis is a
+//! *contender mix* — which schemes share the bottleneck and when each
+//! flow joins and leaves — instead of a flow count. Three mix families
+//! cover the paper's §6.4 evaluation:
+//!
+//! - [`ContenderMix::Duel`]: named schemes start together and run to
+//!   the horizon (MOCC×MOCC mixed-preference pairs, MOCC vs a classic
+//!   TCP, TCP vs TCP);
+//! - [`ContenderMix::Staircase`]: `n` flows of one scheme join every
+//!   `phase_s` seconds and leave in reverse order — dynamic churn with
+//!   well-defined fair-share windows.
+//!
+//! Each expanded [`CompetitionCell`] reduces to the ordinary
+//! [`CellReport`] (so competition results ride the existing
+//! canonical-JSON [`crate::SweepReport`] machinery and inherit its
+//! byte-identity guarantees), with three competition metrics filled in:
+//!
+//! - **Jain's index** over per-flow delivered bytes within the cell's
+//!   *full-overlap window* (after the last join, before the first
+//!   leave), so churn transients do not dilute the fairness score;
+//! - **friendliness**: flow 0's bandwidth share divided by the share
+//!   the same flow slot receives when *every* flow runs the spec's
+//!   `tcp_baseline` scheme (an all-TCP control run of the same seeded
+//!   scenario). 1.0 means "takes exactly what TCP would take"; `None`
+//!   when the control share is zero (undefined);
+//! - **time to fair share** ([`time_to_fair_share`]): seconds from the
+//!   last join until the per-second Jain index over scheduled-active
+//!   flows sustains the spec's `fair_jain` threshold for
+//!   `fair_sustain_s` consecutive seconds; `None` when never reached.
+
+use crate::report::{round6, CellReport};
+use crate::spec::cell_seed;
+use mocc_netsim::cc::CongestionControl;
+use mocc_netsim::metrics::{jain_index, time_to_fair_share, window_mbits};
+use mocc_netsim::time::SimDuration;
+use mocc_netsim::{FlowSpec, LinkSpec, MiMode, Scenario, SimResult, Simulator};
+
+/// One family of competing flows sharing the bottleneck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContenderMix {
+    /// The named schemes, one flow each, all starting at t = 0 and
+    /// running to the horizon.
+    Duel(Vec<String>),
+    /// `n` flows of `scheme`: flow `i` joins at `i × phase_s` and (for
+    /// `i > 0`) leaves at `duration − i × phase_s` — joins ascending,
+    /// leaves in reverse order, so the population staircases up and
+    /// back down around a full-overlap plateau in the middle.
+    Staircase {
+        /// Scheme label for every flow.
+        scheme: String,
+        /// Number of flows (≥ 1).
+        n: usize,
+        /// Seconds between successive joins (and between successive
+        /// leaves).
+        phase_s: f64,
+    },
+}
+
+impl ContenderMix {
+    /// Convenience two-flow duel.
+    pub fn duel(a: &str, b: &str) -> Self {
+        ContenderMix::Duel(vec![a.to_string(), b.to_string()])
+    }
+
+    /// Convenience staircase-churn mix.
+    pub fn staircase(scheme: &str, n: usize, phase_s: f64) -> Self {
+        ContenderMix::Staircase {
+            scheme: scheme.to_string(),
+            n,
+            phase_s,
+        }
+    }
+
+    /// Canonical short label used in reports (stable across versions;
+    /// golden fixtures depend on it).
+    pub fn label(&self) -> String {
+        match self {
+            ContenderMix::Duel(names) => format!("duel:{}", names.join("+")),
+            ContenderMix::Staircase { scheme, n, phase_s } => {
+                format!("stair:{scheme}:{n}x{phase_s}")
+            }
+        }
+    }
+
+    /// The flow lineup: `(scheme label, start_s, stop_s)` per flow,
+    /// with `None` meaning "runs to the horizon".
+    pub fn lineup(&self, duration_s: u64) -> Vec<(String, f64, Option<f64>)> {
+        match self {
+            ContenderMix::Duel(names) => names.iter().map(|s| (s.clone(), 0.0, None)).collect(),
+            ContenderMix::Staircase { scheme, n, phase_s } => (0..(*n).max(1))
+                .map(|i| {
+                    let start = i as f64 * phase_s;
+                    let stop = (i > 0).then(|| duration_s as f64 - i as f64 * phase_s);
+                    (scheme.clone(), start, stop)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A scenario matrix over shared-bottleneck competitions: the Cartesian
+/// product of bandwidth × one-way delay × queue × contender mix.
+///
+/// Expansion order is fixed and documented: bandwidth (outermost), then
+/// one-way delay, queue, mix (innermost). As with [`crate::SweepSpec`],
+/// cell indices and derived seeds depend on the exact axis values —
+/// treat specs used for golden fixtures as frozen.
+#[derive(Debug, Clone)]
+pub struct CompetitionSpec {
+    /// Contender mixes (innermost axis).
+    pub mixes: Vec<ContenderMix>,
+    /// Bottleneck bandwidths, Mbps (constant-rate links).
+    pub bandwidth_mbps: Vec<f64>,
+    /// One-way propagation delays, ms.
+    pub owd_ms: Vec<u64>,
+    /// Queue capacities, packets.
+    pub queue_pkts: Vec<usize>,
+    /// Per-cell simulation horizon, seconds.
+    pub duration_s: u64,
+    /// Maximum segment size, bytes.
+    pub mss_bytes: u32,
+    /// Base seed; each cell derives its own via [`cell_seed`].
+    pub seed: u64,
+    /// Apply the learning agents' fixed monitor-interval convention to
+    /// every flow (see [`LinkSpec::agent_mi`]).
+    pub agent_mi: bool,
+    /// Scheme used for the all-TCP friendliness control run.
+    pub tcp_baseline: String,
+    /// Jain threshold defining "fair share" for convergence timing.
+    pub fair_jain: f64,
+    /// Consecutive seconds the threshold must hold.
+    pub fair_sustain_s: u64,
+}
+
+impl CompetitionSpec {
+    /// A minimal single-mix spec (cubic vs bbr on 12 Mbps / 10 ms /
+    /// 120 pkts for 20 s) to build variations from.
+    pub fn quick() -> Self {
+        CompetitionSpec {
+            mixes: vec![ContenderMix::duel("cubic", "bbr")],
+            bandwidth_mbps: vec![12.0],
+            owd_ms: vec![10],
+            queue_pkts: vec![120],
+            duration_s: 20,
+            mss_bytes: 1500,
+            seed: 7,
+            agent_mi: true,
+            tcp_baseline: "cubic".to_string(),
+            fair_jain: 0.9,
+            fair_sustain_s: 3,
+        }
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.bandwidth_mbps.len() * self.owd_ms.len() * self.queue_pkts.len() * self.mixes.len()
+    }
+
+    /// Expands the matrix into its ordered list of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a mix's lifecycle windows are degenerate at this
+    /// `duration_s` (e.g. a staircase whose later flows would stop at
+    /// or before their start and so never send) — a silently dead flow
+    /// would be scored as a zero share and report spurious
+    /// unfairness, so a mis-specified spec aborts loudly instead.
+    pub fn expand(&self) -> Vec<CompetitionCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        let mut index = 0u64;
+        for &bw in &self.bandwidth_mbps {
+            for &owd in &self.owd_ms {
+                for &queue in &self.queue_pkts {
+                    for mix in &self.mixes {
+                        let link =
+                            LinkSpec::constant(bw * 1e6, SimDuration::from_millis(owd), queue, 0.0);
+                        let dur = self.duration_s as f64;
+                        let lineup = mix.lineup(self.duration_s);
+                        for (flow, &(_, start, stop)) in lineup.iter().enumerate() {
+                            let stop = stop.unwrap_or(dur);
+                            assert!(
+                                stop > start,
+                                "mix {:?}: flow {flow} has an empty lifecycle window \
+                                 [{start}, {stop}) at duration_s = {} — increase the \
+                                 duration or reduce the staircase size/phase",
+                                mix.label(),
+                                self.duration_s,
+                            );
+                        }
+                        // The fairness metrics are scored on the
+                        // full-overlap plateau; a plateau without one
+                        // whole second would silently fall back to the
+                        // horizon and score solo phases as unfairness.
+                        let last_join = lineup.iter().fold(0.0f64, |m, &(_, s, _)| m.max(s));
+                        let first_leave = lineup
+                            .iter()
+                            .fold(dur, |m, &(_, _, stop)| m.min(stop.unwrap_or(dur)));
+                        assert!(
+                            (first_leave.floor() as u64) > (last_join.ceil() as u64),
+                            "mix {:?}: full-overlap window [{last_join}, {first_leave}) \
+                             contains no whole second at duration_s = {} — fairness \
+                             would be scored on the horizon fallback; increase the \
+                             duration or adjust the join/leave spacing",
+                            mix.label(),
+                            self.duration_s,
+                        );
+                        let mut flows: Vec<FlowSpec> = lineup
+                            .iter()
+                            .map(|&(_, start, stop)| match stop {
+                                Some(stop) => FlowSpec::running(start, stop),
+                                None => FlowSpec::starting_at(start),
+                            })
+                            .collect();
+                        if self.agent_mi {
+                            let mi = link.agent_mi();
+                            for f in &mut flows {
+                                f.mi = MiMode::Fixed(mi);
+                            }
+                        }
+                        let labels: Vec<String> =
+                            lineup.into_iter().map(|(label, _, _)| label).collect();
+                        let scenario = Scenario {
+                            link,
+                            flows,
+                            mss_bytes: self.mss_bytes,
+                            duration: SimDuration::from_secs(self.duration_s),
+                            seed: cell_seed(self.seed, index),
+                        };
+                        cells.push(CompetitionCell {
+                            index,
+                            bandwidth_mbps: bw,
+                            owd_ms: owd,
+                            queue_pkts: queue,
+                            mix: mix.clone(),
+                            labels,
+                            tcp_baseline: self.tcp_baseline.clone(),
+                            fair_jain: self.fair_jain,
+                            fair_sustain_s: self.fair_sustain_s,
+                            scenario,
+                        });
+                        index += 1;
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One expanded competition cell: the coordinates, the per-flow scheme
+/// labels, and the concrete seeded [`Scenario`] ready to simulate.
+#[derive(Debug, Clone)]
+pub struct CompetitionCell {
+    /// Position in the expansion order (stable cell identity).
+    pub index: u64,
+    /// Bottleneck bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// One-way propagation delay, ms.
+    pub owd_ms: u64,
+    /// DropTail queue capacity, packets.
+    pub queue_pkts: usize,
+    /// The contender mix this cell instantiates.
+    pub mix: ContenderMix,
+    /// Scheme label of each flow, in flow order.
+    pub labels: Vec<String>,
+    /// Scheme of the all-TCP friendliness control run.
+    pub tcp_baseline: String,
+    /// Jain threshold defining "fair share".
+    pub fair_jain: f64,
+    /// Consecutive seconds the threshold must hold.
+    pub fair_sustain_s: u64,
+    /// The fully built scenario (lifecycles, seed, MI convention).
+    pub scenario: Scenario,
+}
+
+impl CompetitionCell {
+    /// The whole-second full-overlap window `[lo, hi)`: after the last
+    /// join, before the first leave. Falls back to the whole horizon
+    /// when the overlap is empty (degenerate lifecycles).
+    pub fn overlap_window(&self) -> (u64, u64) {
+        let dur = self.scenario.duration.as_secs_f64();
+        let lo = self
+            .scenario
+            .flows
+            .iter()
+            .map(|f| f.start.as_secs_f64())
+            .fold(0.0, f64::max);
+        let hi = self
+            .scenario
+            .flows
+            .iter()
+            .map(|f| f.stop.map(|t| t.as_secs_f64()).unwrap_or(dur))
+            .fold(dur, f64::min);
+        let (lo_s, hi_s) = (lo.ceil() as u64, hi.floor() as u64);
+        if hi_s > lo_s {
+            (lo_s, hi_s)
+        } else {
+            (0, dur.floor() as u64)
+        }
+    }
+
+    /// Per-flow scheduled lifetimes `(start_s, end_s)`, clamped to the
+    /// horizon — the windows [`time_to_fair_share`] scores against.
+    pub fn flow_windows(&self) -> Vec<(f64, f64)> {
+        let dur = self.scenario.duration.as_secs_f64();
+        self.scenario
+            .flows
+            .iter()
+            .map(|f| {
+                let end = f.stop.map(|t| t.as_secs_f64()).unwrap_or(dur).min(dur);
+                (f.start.as_secs_f64(), end)
+            })
+            .collect()
+    }
+}
+
+/// Resolves a contender label through the `mocc-cc` baseline registry.
+/// The shared vocabulary every competition path understands; MOCC
+/// labels (`mocc`, `mocc:…`) are *not* resolved here — they need a
+/// policy and are handled by MOCC-aware evaluators.
+pub fn contender_by_name(label: &str) -> Option<Box<dyn CongestionControl>> {
+    mocc_cc::by_name(label)
+}
+
+/// Builds the controller for each flow of a competition cell. Shared
+/// by reference across workers, so it must be [`Sync`].
+pub trait ContenderFactory: Sync {
+    /// Instantiates the controller for flow `flow` of `cell`, whose
+    /// scheme label is `label`.
+    ///
+    /// **Label contract:** a label is the flow's scheme *identity* —
+    /// it is what the report prints and what the analytics reason
+    /// about. An implementation that recognizes a `mocc-cc` registry
+    /// name (e.g. `"cubic"`) must return that scheme, exactly as
+    /// [`contender_by_name`] would; custom controllers need custom
+    /// labels. The friendliness shortcut in [`competition_report`] —
+    /// a cell whose labels all equal `tcp_baseline` is its own
+    /// all-TCP control — is sound precisely because of this contract.
+    fn make(&self, cell: &CompetitionCell, flow: usize, label: &str) -> Box<dyn CongestionControl>;
+}
+
+impl<F> ContenderFactory for F
+where
+    F: Fn(&CompetitionCell, usize, &str) -> Box<dyn CongestionControl> + Sync,
+{
+    fn make(&self, cell: &CompetitionCell, flow: usize, label: &str) -> Box<dyn CongestionControl> {
+        self(cell, flow, label)
+    }
+}
+
+/// The default factory: every label must name a `mocc-cc` baseline.
+///
+/// # Panics
+///
+/// [`ContenderFactory::make`] panics on labels unknown to
+/// [`mocc_cc::by_name`] (including `mocc:*` labels, which need a
+/// MOCC-aware evaluator such as `mocc_core::BatchMoccEvaluator`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineContenders;
+
+impl ContenderFactory for BaselineContenders {
+    fn make(
+        &self,
+        _cell: &CompetitionCell,
+        _flow: usize,
+        label: &str,
+    ) -> Box<dyn CongestionControl> {
+        contender_by_name(label).unwrap_or_else(|| {
+            panic!("unknown contender {label:?}: not a mocc-cc baseline (mocc:* labels need a MOCC-aware evaluator)")
+        })
+    }
+}
+
+/// Evaluates whole batches of competition cells at once — the hook
+/// that lets learned policies batch inference across cells *and*
+/// across competing flows within a cell. Same contract as
+/// [`crate::CellEvaluator`]: one report per input cell, in order, each
+/// cell evaluated independently of its chunk-mates.
+pub trait CompetitionEvaluator: Sync {
+    /// Preferred cells per chunk (≥ 1).
+    fn batch_size(&self) -> usize {
+        1
+    }
+
+    /// Evaluates a contiguous batch of cells, returning one report per
+    /// cell in input order.
+    fn eval_batch(&self, cells: &[CompetitionCell]) -> Vec<CellReport>;
+}
+
+/// Simulates one competition cell under `factory` and reduces it to a
+/// [`CellReport`] with the competition metrics filled in (this runs
+/// the all-TCP control simulation too).
+pub fn run_competition_cell(cell: &CompetitionCell, factory: &dyn ContenderFactory) -> CellReport {
+    let ccs: Vec<Box<dyn CongestionControl>> = cell
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(flow, label)| factory.make(cell, flow, label))
+        .collect();
+    let res = Simulator::new(cell.scenario.clone(), ccs).run();
+    competition_report(cell, &res)
+}
+
+/// The all-TCP friendliness control: the same seeded scenario with
+/// every flow running the cell's `tcp_baseline` scheme.
+pub fn baseline_result(cell: &CompetitionCell) -> SimResult {
+    let ccs: Vec<Box<dyn CongestionControl>> = (0..cell.labels.len())
+        .map(|_| {
+            contender_by_name(&cell.tcp_baseline)
+                .unwrap_or_else(|| panic!("unknown tcp_baseline {:?}", cell.tcp_baseline))
+        })
+        .collect();
+    Simulator::new(cell.scenario.clone(), ccs).run()
+}
+
+/// Reduces a finished competition simulation to a [`CellReport`],
+/// running the all-TCP control internally for the friendliness ratio.
+/// When every contender already *is* the `tcp_baseline` scheme (e.g.
+/// a CUBIC staircase with a CUBIC control), the finished simulation is
+/// its own control — seed, lifecycles, and (by the
+/// [`ContenderFactory`] label contract) controllers are identical —
+/// so the redundant second run is skipped.
+pub fn competition_report(cell: &CompetitionCell, res: &SimResult) -> CellReport {
+    if cell.labels.iter().all(|l| *l == cell.tcp_baseline) {
+        return competition_report_with_baseline(cell, res, res);
+    }
+    let base = baseline_result(cell);
+    competition_report_with_baseline(cell, res, &base)
+}
+
+/// [`competition_report`] with an explicitly supplied control run
+/// (unit tests inject crafted results; production callers let
+/// [`competition_report`] run the control itself).
+pub fn competition_report_with_baseline(
+    cell: &CompetitionCell,
+    res: &SimResult,
+    base: &SimResult,
+) -> CellReport {
+    let mut rep = CellReport::reduce(
+        crate::report::CellCoords {
+            index: cell.index,
+            seed: cell.scenario.seed,
+            bandwidth_mbps: cell.bandwidth_mbps,
+            owd_ms: cell.owd_ms,
+            queue_pkts: cell.queue_pkts,
+            loss_cfg: 0.0,
+            shape: "constant".to_string(),
+            load: cell.mix.label(),
+        },
+        res,
+    );
+    let (lo, hi) = cell.overlap_window();
+    let shares = window_mbits(&res.flows, lo, hi);
+    rep.jain = round6(jain_index(&shares));
+    let base_shares = window_mbits(&base.flows, lo, hi);
+    let total: f64 = shares.iter().sum();
+    let base_total: f64 = base_shares.iter().sum();
+    let share0 = if total > 0.0 { shares[0] / total } else { 0.0 };
+    let base_share0 = if base_total > 0.0 {
+        base_shares[0] / base_total
+    } else {
+        0.0
+    };
+    rep.friendliness = (base_share0 > 0.0).then(|| round6(share0 / base_share0));
+    rep.convergence_s = time_to_fair_share(
+        &res.flows,
+        &cell.flow_windows(),
+        lo,
+        cell.scenario.duration.as_secs_f64().floor() as u64,
+        cell.fair_jain,
+        cell.fair_sustain_s,
+    )
+    .map(round6);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocc_netsim::FlowResult;
+
+    fn flow_with_series(per_sec_mbits: Vec<f64>) -> FlowResult {
+        FlowResult {
+            per_sec_mbits,
+            ..FlowResult::default()
+        }
+    }
+
+    fn result_with_series(series: Vec<Vec<f64>>, duration_s: u64) -> SimResult {
+        SimResult {
+            duration: SimDuration::from_secs(duration_s),
+            link_mean_rate_bps: 10e6,
+            base_rtt_ms: 20.0,
+            flows: series.into_iter().map(flow_with_series).collect(),
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_with_distinct_seeds() {
+        let spec = CompetitionSpec {
+            mixes: vec![
+                ContenderMix::duel("cubic", "bbr"),
+                ContenderMix::staircase("vegas", 3, 2.0),
+            ],
+            bandwidth_mbps: vec![6.0, 12.0],
+            owd_ms: vec![10, 40],
+            ..CompetitionSpec::quick()
+        };
+        assert_eq!(spec.cell_count(), 8);
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a.len(), 8);
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.scenario.seed).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.scenario.seed, y.scenario.seed);
+            assert_eq!(x.mix.label(), y.mix.label());
+            assert_eq!(x.labels, y.labels);
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "every cell gets a distinct seed");
+    }
+
+    #[test]
+    fn mix_labels_are_stable() {
+        assert_eq!(
+            ContenderMix::duel("mocc:thr", "cubic").label(),
+            "duel:mocc:thr+cubic"
+        );
+        assert_eq!(
+            ContenderMix::staircase("cubic", 3, 4.0).label(),
+            "stair:cubic:3x4"
+        );
+    }
+
+    #[test]
+    fn staircase_lineup_joins_and_leaves_symmetrically() {
+        let mix = ContenderMix::staircase("cubic", 3, 4.0);
+        let lineup = mix.lineup(24);
+        assert_eq!(lineup.len(), 3);
+        assert_eq!(lineup[0], ("cubic".into(), 0.0, None));
+        assert_eq!(lineup[1], ("cubic".into(), 4.0, Some(20.0)));
+        assert_eq!(lineup[2], ("cubic".into(), 8.0, Some(16.0)));
+    }
+
+    /// A staircase whose duration cannot accommodate its join/leave
+    /// spacing would produce flows that never send (zero shares that
+    /// read as spurious unfairness) — expansion must refuse it.
+    #[test]
+    #[should_panic(expected = "empty lifecycle window")]
+    fn degenerate_staircase_spec_is_rejected() {
+        let mut spec = CompetitionSpec::quick();
+        spec.mixes = vec![ContenderMix::staircase("cubic", 3, 4.0)];
+        spec.duration_s = 8; // flow 2 would run [8, 0) -> never
+        let _ = spec.expand();
+    }
+
+    /// Lifecycles can all be individually non-empty while the
+    /// full-overlap plateau still contains no whole second — that
+    /// would silently score the horizon fallback, so expansion must
+    /// refuse it too.
+    #[test]
+    #[should_panic(expected = "full-overlap window")]
+    fn subsecond_overlap_spec_is_rejected() {
+        let mut spec = CompetitionSpec::quick();
+        spec.mixes = vec![ContenderMix::staircase("cubic", 3, 4.7)];
+        spec.duration_s = 19; // flow 2 runs [9.4, 9.6): no whole second
+        let _ = spec.expand();
+    }
+
+    #[test]
+    fn overlap_window_spans_last_join_to_first_leave() {
+        let mut spec = CompetitionSpec::quick();
+        spec.mixes = vec![ContenderMix::staircase("cubic", 3, 4.0)];
+        spec.duration_s = 24;
+        let cell = &spec.expand()[0];
+        assert_eq!(cell.overlap_window(), (8, 16));
+        assert_eq!(cell.flow_windows()[2], (8.0, 16.0));
+        // A duel's overlap is the whole horizon.
+        let duel = &CompetitionSpec::quick().expand()[0];
+        assert_eq!(duel.overlap_window(), (0, 20));
+    }
+
+    #[test]
+    fn jain_edge_cases_in_report() {
+        let cell = CompetitionSpec::quick().expand().remove(0);
+        // One flow dominating another entirely: window Jain = 0.5.
+        let res = result_with_series(vec![vec![8.0; 20], vec![0.0; 20]], 20);
+        let base = result_with_series(vec![vec![4.0; 20], vec![4.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &res, &base);
+        assert_eq!(rep.jain, 0.5);
+        // All-zero deliveries: degenerate-but-fair 1.0, no NaN.
+        let dead = result_with_series(vec![vec![0.0; 20], vec![0.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &dead, &base);
+        assert_eq!(rep.jain, 1.0);
+        assert_eq!(
+            rep.friendliness,
+            Some(0.0),
+            "zero share over a real control"
+        );
+    }
+
+    #[test]
+    fn friendliness_undefined_when_control_share_is_zero() {
+        let cell = CompetitionSpec::quick().expand().remove(0);
+        let res = result_with_series(vec![vec![5.0; 20], vec![5.0; 20]], 20);
+        // Control run where flow 0 got nothing (or nothing at all ran).
+        let base = result_with_series(vec![vec![0.0; 20], vec![8.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &res, &base);
+        assert_eq!(rep.friendliness, None);
+        let empty = result_with_series(vec![vec![0.0; 20], vec![0.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &res, &empty);
+        assert_eq!(rep.friendliness, None);
+    }
+
+    #[test]
+    fn friendliness_ratio_against_equal_control() {
+        let cell = CompetitionSpec::quick().expand().remove(0);
+        // Flow 0 takes 75% where the all-TCP control splits 50/50.
+        let res = result_with_series(vec![vec![6.0; 20], vec![2.0; 20]], 20);
+        let base = result_with_series(vec![vec![4.0; 20], vec![4.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &res, &base);
+        assert_eq!(rep.friendliness, Some(1.5));
+    }
+
+    #[test]
+    fn convergence_none_when_fair_share_never_reached() {
+        let mut spec = CompetitionSpec::quick();
+        spec.fair_jain = 0.99;
+        let cell = spec.expand().remove(0);
+        let res = result_with_series(vec![vec![9.0; 20], vec![1.0; 20]], 20);
+        let base = result_with_series(vec![vec![4.0; 20], vec![4.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &res, &base);
+        assert_eq!(rep.convergence_s, None);
+        // Equal shares converge immediately (offset 0 from last join).
+        let fair = result_with_series(vec![vec![5.0; 20], vec![5.0; 20]], 20);
+        let rep = competition_report_with_baseline(&cell, &fair, &base);
+        assert_eq!(rep.convergence_s, Some(0.0));
+    }
+
+    #[test]
+    fn cubic_duel_produces_finite_metrics_end_to_end() {
+        let mut spec = CompetitionSpec::quick();
+        spec.duration_s = 12;
+        let cell = spec.expand().remove(0);
+        let rep = run_competition_cell(&cell, &BaselineContenders);
+        assert!(rep.goodput_mbps > 1.0, "{rep:?}");
+        assert!(rep.jain > 0.0 && rep.jain <= 1.0, "{rep:?}");
+        let f = rep.friendliness.expect("control run delivered");
+        assert!(f.is_finite() && f > 0.0, "{rep:?}");
+    }
+}

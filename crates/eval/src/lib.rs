@@ -15,7 +15,14 @@
 //!   metrics (goodput, mean/p95 RTT, loss, utilization, a scalar
 //!   utility) and serializes to **canonical JSON** — two runs of the
 //!   same spec are byte-identical regardless of thread count, the
-//!   property the golden-trace regression tests build on.
+//!   property the golden-trace regression tests build on;
+//! - [`CompetitionSpec`] extends the matrix to shared-bottleneck
+//!   *competitions*: contender mixes (mixed-preference MOCC pairs,
+//!   scheme-vs-TCP duels, staircase churn with mid-run joins and
+//!   leaves) reduced to fairness analytics — overlap-window Jain
+//!   index, friendliness against an all-TCP control run, and time to
+//!   fair share — emitted through the same canonical report (see
+//!   [`competition`]).
 //!
 //! [`Scenario`]: mocc_netsim::Scenario
 //! [`CongestionControl`]: mocc_netsim::cc::CongestionControl
@@ -38,11 +45,17 @@
 //! assert_eq!(a.to_canonical_json(), report.to_canonical_json());
 //! ```
 
+pub mod competition;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use report::{round6, CellReport, SweepReport, SweepSummary};
+pub use competition::{
+    baseline_result, competition_report, competition_report_with_baseline, contender_by_name,
+    run_competition_cell, BaselineContenders, CompetitionCell, CompetitionEvaluator,
+    CompetitionSpec, ContenderFactory, ContenderMix,
+};
+pub use report::{fmt_opt_metric, round6, CellCoords, CellReport, SweepReport, SweepSummary};
 pub use runner::{
     parse_threads, run_cell, BaselineFactory, CellEvaluator, CellFactory, SweepRunner, THREADS_ENV,
 };

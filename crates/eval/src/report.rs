@@ -23,6 +23,16 @@ const W_LAT: f64 = 0.4;
 /// Weight of the loss objective in the utility score.
 const W_LOSS: f64 = 0.2;
 
+/// Renders an optional metric (friendliness, convergence time) for
+/// tables: three decimals, or `-` for undefined/never. One definition
+/// so every binary prints the `Option`-valued columns identically.
+pub fn fmt_opt_metric(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
 /// Rounds to six decimal places — the canonical metric precision.
 /// Rounding before serialization keeps fixtures readable and stops
 /// last-bit formatting churn from touching every golden file.
@@ -65,16 +75,83 @@ pub struct CellReport {
     /// Mean RTT over the base propagation RTT (1.0 when no samples).
     pub latency_ratio: f64,
     /// Jain fairness index over per-flow goodputs (1.0 for one flow).
+    /// Competition cells score the full-overlap window instead (see
+    /// [`crate::competition::competition_report`]).
     pub jain: f64,
     /// Scalar utility: `0.4·O_thr + 0.4·O_lat + 0.2·O_loss` with the
     /// Eq. 2 objective normalizations, in [0, 1].
     pub utility: f64,
+    /// Competition cells only: flow 0's bandwidth share over the share
+    /// the same slot receives in the all-TCP control run. `None` for
+    /// classic sweep cells and when the control share is zero.
+    pub friendliness: Option<f64>,
+    /// Competition cells only: seconds from the last join until fair
+    /// share is sustained ([`mocc_netsim::metrics::time_to_fair_share`]).
+    /// `None` for classic sweep cells and when never reached.
+    pub convergence_s: Option<f64>,
+}
+
+/// The identifying coordinates of one report row — everything a
+/// [`CellReport`] carries besides the measured metrics. Bundled into a
+/// struct so the two reduction call sites (classic sweep, competition)
+/// cannot silently swap same-typed positional arguments.
+#[derive(Debug, Clone)]
+pub struct CellCoords {
+    /// Cell index in spec expansion order.
+    pub index: u64,
+    /// The cell's derived RNG seed.
+    pub seed: u64,
+    /// Peak bottleneck bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// One-way propagation delay, ms.
+    pub owd_ms: u64,
+    /// Queue capacity, packets.
+    pub queue_pkts: usize,
+    /// Configured iid loss rate.
+    pub loss_cfg: f64,
+    /// Trace-shape label.
+    pub shape: String,
+    /// Flow-load (or contender-mix) label.
+    pub load: String,
 }
 
 impl CellReport {
     /// Reduces a finished simulation of `cell` to summary metrics.
     pub fn from_sim(cell: &SweepCell, res: &SimResult) -> Self {
-        let goodput_bps: f64 = res.flows.iter().map(|f| f.throughput_bps).sum();
+        CellReport::reduce(
+            CellCoords {
+                index: cell.index,
+                seed: cell.scenario.seed,
+                bandwidth_mbps: cell.bandwidth_mbps,
+                owd_ms: cell.owd_ms,
+                queue_pkts: cell.queue_pkts,
+                loss_cfg: cell.loss,
+                shape: cell.shape.label(),
+                load: cell.load.label(),
+            },
+            res,
+        )
+    }
+
+    /// The shared reduction behind [`CellReport::from_sim`] and the
+    /// competition path: coordinates plus a finished [`SimResult`]
+    /// down to summary metrics.
+    ///
+    /// Cell-level goodput is **horizon-weighted** — total delivered
+    /// bytes over the scenario horizon — not the sum of per-flow
+    /// duration-weighted rates. The distinction matters under churn: a
+    /// staircase of short-lived flows each achieving link rate while
+    /// present would sum to several times the link capacity under
+    /// duration weighting, while the horizon-weighted goodput (and the
+    /// utilization derived from it) stays physically bounded.
+    pub fn reduce(coords: CellCoords, res: &SimResult) -> Self {
+        let horizon_s = res.duration.as_secs_f64().max(1e-9);
+        let goodput_bps: f64 = res
+            .flows
+            .iter()
+            .map(|f| f.total_acked_bytes as f64 * 8.0)
+            .sum::<f64>()
+            / horizon_s;
         let rtts: Vec<f64> = res
             .flows
             .iter()
@@ -117,14 +194,14 @@ impl CellReport {
         };
         let o_loss = 1.0 - loss_rate;
         CellReport {
-            index: cell.index,
-            seed: cell.scenario.seed,
-            bandwidth_mbps: round6(cell.bandwidth_mbps),
-            owd_ms: cell.owd_ms,
-            queue_pkts: cell.queue_pkts as u64,
-            loss_cfg: round6(cell.loss),
-            shape: cell.shape.label(),
-            load: cell.load.label(),
+            index: coords.index,
+            seed: coords.seed,
+            bandwidth_mbps: round6(coords.bandwidth_mbps),
+            owd_ms: coords.owd_ms,
+            queue_pkts: coords.queue_pkts as u64,
+            loss_cfg: round6(coords.loss_cfg),
+            shape: coords.shape,
+            load: coords.load,
             goodput_mbps: round6(goodput_bps / 1e6),
             mean_rtt_ms: round6(mean_rtt_ms),
             p95_rtt_ms: round6(p95_rtt_ms),
@@ -133,6 +210,8 @@ impl CellReport {
             latency_ratio: round6(latency_ratio),
             jain: round6(jain_index(&shares)),
             utility: round6(W_THR * o_thr + W_LAT * o_lat + W_LOSS * o_loss),
+            friendliness: None,
+            convergence_s: None,
         }
     }
 }
@@ -269,6 +348,25 @@ mod tests {
         let ctrl_pos = json.find("\"controller\"").unwrap();
         let summary_pos = json.find("\"summary\"").unwrap();
         assert!(cells_pos < ctrl_pos && ctrl_pos < summary_pos);
+    }
+
+    /// The competition metrics are `None` (canonical `null`) on the
+    /// classic sweep path and round-trip losslessly when set.
+    #[test]
+    fn competition_fields_round_trip_and_default_null() {
+        let mut c = one_cell_report();
+        assert_eq!(c.friendliness, None);
+        assert_eq!(c.convergence_s, None);
+        let json = SweepReport::new("fixed", 7, 10, vec![c.clone()]).to_canonical_json();
+        assert!(json.contains("\"friendliness\":null"), "{json}");
+        assert!(json.contains("\"convergence_s\":null"), "{json}");
+        c.friendliness = Some(1.25);
+        c.convergence_s = Some(3.0);
+        let rep = SweepReport::new("fixed", 7, 10, vec![c]);
+        let back = SweepReport::from_json(&rep.to_canonical_json()).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.cells[0].friendliness, Some(1.25));
+        assert_eq!(back.cells[0].convergence_s, Some(3.0));
     }
 
     #[test]

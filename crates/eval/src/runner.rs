@@ -21,6 +21,9 @@
 //!    silently falling back),
 //! 3. [`std::thread::available_parallelism`].
 
+use crate::competition::{
+    run_competition_cell, CompetitionCell, CompetitionEvaluator, CompetitionSpec, ContenderFactory,
+};
 use crate::report::{CellReport, SweepReport};
 use crate::spec::{SweepCell, SweepSpec};
 use mocc_netsim::cc::CongestionControl;
@@ -107,6 +110,68 @@ impl CellEvaluator for FactoryEvaluator<'_> {
     }
 }
 
+/// Adapter running a per-cell [`ContenderFactory`] as a chunk-of-one
+/// [`CompetitionEvaluator`].
+struct FactoryCompetitionEvaluator<'a> {
+    factory: &'a dyn ContenderFactory,
+}
+
+impl CompetitionEvaluator for FactoryCompetitionEvaluator<'_> {
+    fn eval_batch(&self, cells: &[CompetitionCell]) -> Vec<CellReport> {
+        cells
+            .iter()
+            .map(|c| run_competition_cell(c, self.factory))
+            .collect()
+    }
+}
+
+/// The shared sharded executor: distributes contiguous chunks of
+/// `batch` items over `threads` scoped workers pulling from an atomic
+/// queue, slotting results back by item index. Scheduling order can
+/// never change the output vector — the byte-identity foundation both
+/// the classic sweep and the competition sweep build on.
+fn run_chunked<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    batch: usize,
+    eval: &(dyn Fn(&[T]) -> Vec<R> + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let batch = batch.max(1);
+    let chunks = n.div_ceil(batch).max(1);
+    let workers = threads.min(chunks).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let lo = c * batch;
+                let hi = (lo + batch).min(n);
+                let results = eval(&items[lo..hi]);
+                assert_eq!(
+                    results.len(),
+                    hi - lo,
+                    "evaluator must return one result per item"
+                );
+                let mut locked = slots.lock().expect("slot lock");
+                for (i, r) in results.into_iter().enumerate() {
+                    locked[lo + i] = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("slot lock")
+        .into_iter()
+        .map(|r| r.expect("every item produced a result"))
+        .collect()
+}
+
 /// Parallel executor for sweep specs. See the module docs.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
@@ -191,46 +256,46 @@ impl SweepRunner {
         evaluator: &dyn CellEvaluator,
     ) -> SweepReport {
         let cells = spec.expand();
-        let n = cells.len();
-        let batch = evaluator.batch_size().max(1);
-        let chunks = n.div_ceil(batch).max(1);
-        let workers = self.threads.min(chunks);
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; n]);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks {
-                        break;
-                    }
-                    let lo = c * batch;
-                    let hi = (lo + batch).min(n);
-                    let reports = evaluator.eval_batch(&cells[lo..hi]);
-                    assert_eq!(
-                        reports.len(),
-                        hi - lo,
-                        "evaluator must return one report per cell"
-                    );
-                    let mut locked = slots.lock().expect("slot lock");
-                    for (i, r) in reports.into_iter().enumerate() {
-                        locked[lo + i] = Some(r);
-                    }
-                });
-            }
+        let reports = run_chunked(&cells, self.threads, evaluator.batch_size(), &|chunk| {
+            evaluator.eval_batch(chunk)
         });
-        let reports: Vec<CellReport> = slots
-            .into_inner()
-            .expect("slot lock")
-            .into_iter()
-            .map(|r| r.expect("every cell produced a report"))
-            .collect();
         SweepReport::new(controller, spec.seed, spec.duration_s, reports)
     }
 
     /// Convenience: runs a named `mocc-cc` baseline over the spec.
     pub fn run_baseline(&self, spec: &SweepSpec, name: &str) -> SweepReport {
         self.run(spec, name, &BaselineFactory::new(name))
+    }
+
+    /// Runs every cell of a competition spec under controllers from
+    /// `factory` (per-flow scheme labels resolved one cell at a time)
+    /// and returns the aggregated report labelled with `controller`.
+    /// Same byte-identity contract as [`SweepRunner::run`].
+    pub fn run_competition(
+        &self,
+        spec: &CompetitionSpec,
+        controller: &str,
+        factory: &dyn ContenderFactory,
+    ) -> SweepReport {
+        self.run_competition_evaluator(spec, controller, &FactoryCompetitionEvaluator { factory })
+    }
+
+    /// Runs every cell of a competition spec through a (possibly
+    /// batched) [`CompetitionEvaluator`] — the hook that lets learned
+    /// policies serve *competing* flows from batched forward passes.
+    /// The report is byte-identical for any worker count and any batch
+    /// size.
+    pub fn run_competition_evaluator(
+        &self,
+        spec: &CompetitionSpec,
+        controller: &str,
+        evaluator: &dyn CompetitionEvaluator,
+    ) -> SweepReport {
+        let cells = spec.expand();
+        let reports = run_chunked(&cells, self.threads, evaluator.batch_size(), &|chunk| {
+            evaluator.eval_batch(chunk)
+        });
+        SweepReport::new(controller, spec.seed, spec.duration_s, reports)
     }
 }
 
@@ -312,6 +377,28 @@ mod tests {
             assert!(err.contains(THREADS_ENV), "{err}");
             assert!(err.contains("positive integer"), "{err}");
         }
+    }
+
+    /// Competition sweeps inherit the byte-identity contract: serial
+    /// and 4-way parallel runs of a churning contender matrix produce
+    /// identical canonical JSON, and the mix label rides the report's
+    /// `load` column.
+    #[test]
+    fn competition_parallel_matches_serial_byte_for_byte() {
+        use crate::competition::{BaselineContenders, CompetitionSpec, ContenderMix};
+        let mut spec = CompetitionSpec::quick();
+        spec.mixes = vec![
+            ContenderMix::duel("cubic", "vegas"),
+            ContenderMix::staircase("bbr", 2, 2.0),
+        ];
+        spec.duration_s = 8;
+        let serial =
+            SweepRunner::with_threads(1).run_competition(&spec, "mix", &BaselineContenders);
+        let quad = SweepRunner::with_threads(4).run_competition(&spec, "mix", &BaselineContenders);
+        assert_eq!(serial.to_canonical_json(), quad.to_canonical_json());
+        assert_eq!(serial.cells.len(), 2);
+        assert_eq!(serial.cells[0].load, "duel:cubic+vegas");
+        assert_eq!(serial.cells[1].load, "stair:bbr:2x2");
     }
 
     /// A batched evaluator (chunks of 4) must produce a report

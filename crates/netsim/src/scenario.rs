@@ -146,6 +146,19 @@ impl FlowSpec {
         }
     }
 
+    /// A greedy flow alive over `[start_s, stop_s)` seconds — the
+    /// building block for churn scenarios where flows join and leave
+    /// mid-run. `stop_s` is clamped to at least `start_s` so a
+    /// degenerate window yields a flow that never sends rather than
+    /// one that never stops.
+    pub fn running(start_s: f64, stop_s: f64) -> Self {
+        FlowSpec {
+            start: SimTime::from_secs_f64(start_s),
+            stop: Some(SimTime::from_secs_f64(stop_s.max(start_s))),
+            ..Default::default()
+        }
+    }
+
     /// An on/off cross-traffic flow starting at `start_s` seconds with
     /// symmetric `on_s`/`off_s` windows producing at `rate_bps`.
     pub fn on_off_cross(start_s: f64, on_s: f64, off_s: f64, rate_bps: f64) -> Self {
@@ -290,6 +303,15 @@ mod tests {
         let sc = Scenario::dumbbell(12e6, 10, 100, 3, 100.0, 400);
         assert_eq!(sc.flows.len(), 3);
         assert_eq!(sc.flows[2].start, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn running_flow_clamps_degenerate_windows() {
+        let f = FlowSpec::running(3.0, 8.0);
+        assert_eq!(f.start, SimTime::from_secs(3));
+        assert_eq!(f.stop, Some(SimTime::from_secs(8)));
+        let degenerate = FlowSpec::running(5.0, 2.0);
+        assert_eq!(degenerate.stop, Some(degenerate.start));
     }
 
     #[test]

@@ -432,11 +432,15 @@ struct Bottleneck {
 }
 
 /// The result of one simulated flow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FlowResult {
     /// Congestion-controller name.
     pub name: String,
     /// Mean delivered throughput over the flow's active period, bps.
+    /// **Duration-weighted**: delivered bytes divided by [`Self::active_s`],
+    /// not by the scenario horizon — a flow that leaves halfway reports
+    /// the rate it achieved *while present*. Horizon-weighted aggregates
+    /// must be computed from [`Self::total_acked_bytes`] instead.
     pub throughput_bps: f64,
     /// Mean RTT over all samples, milliseconds.
     pub mean_rtt_ms: f64,
@@ -458,6 +462,16 @@ pub struct FlowResult {
     pub total_acked: u64,
     /// Total packets lost.
     pub total_lost: u64,
+    /// Total payload bytes acknowledged over the flow's lifetime — the
+    /// numerator of both the duration-weighted [`Self::throughput_bps`]
+    /// and any horizon-weighted goodput an aggregator chooses to
+    /// compute.
+    pub total_acked_bytes: u64,
+    /// Length of the flow's active window in seconds (start until
+    /// completion/stop/horizon, whichever first), the denominator of
+    /// [`Self::throughput_bps`]. Floored at 1 ns so a flow that never
+    /// starts divides zero bytes by a tiny epsilon, not by zero.
+    pub active_s: f64,
     /// Packets still outstanding (neither acknowledged nor declared
     /// lost) when the result was taken. Packet conservation holds
     /// exactly: `total_sent == total_acked + total_lost + pkts_in_flight`.
@@ -883,7 +897,14 @@ impl Simulator {
     }
 
     fn handle_monitor(&mut self, f: FlowId) -> Option<MonitorStats> {
-        if self.flows[f].done && self.flows[f].outstanding.is_empty() {
+        // A retired flow — completed, or departed via its scheduled
+        // stop — only needs monitor ticks while packets are still
+        // outstanding (the timeout scan runs here); once drained, its
+        // monitor chain ends instead of firing no-op events (and
+        // pushing empty records) until the horizon.
+        let fl = &self.flows[f];
+        let departed = !fl.active && fl.spec.stop.is_some_and(|stop| stop <= self.now);
+        if (fl.done || departed) && fl.outstanding.is_empty() {
             return None;
         }
         self.check_timeouts(f);
@@ -978,6 +999,13 @@ impl Simulator {
             match entry.kind {
                 EventKind::FlowStart(f) => {
                     let f = f as FlowId;
+                    // A degenerate lifecycle (stop at or before start)
+                    // means the flow never runs — without this guard it
+                    // would emit one packet at the start instant before
+                    // the same-timestamp FlowStop deactivates it.
+                    if self.flows[f].spec.stop.is_some_and(|stop| stop <= time) {
+                        return Some(Processed::Other);
+                    }
                     self.flows[f].active = true;
                     self.flows[f].start_time = self.now;
                     self.flows[f].mi_start = self.now;
@@ -1031,9 +1059,23 @@ impl Simulator {
     /// Advances until the next monitor interval of `flow` completes.
     /// Returns `None` when the simulation is over.
     pub fn advance_until_monitor(&mut self, flow: FlowId) -> Option<MonitorStats> {
+        self.advance_until_monitor_where(|f| f == flow)
+            .map(|(_, stats)| stats)
+    }
+
+    /// Advances until a monitor interval of any flow satisfying `pred`
+    /// completes, returning which flow paused the simulation. This is
+    /// the multi-flow external-agent mode: several externally driven
+    /// flows can compete in one scenario, each receiving its own rate
+    /// decisions at its own monitor boundaries. Returns `None` when the
+    /// simulation is over.
+    pub fn advance_until_monitor_where(
+        &mut self,
+        mut pred: impl FnMut(FlowId) -> bool,
+    ) -> Option<(FlowId, MonitorStats)> {
         loop {
             match self.process_next()? {
-                Processed::Monitor(f, stats) if f == flow => return Some(stats),
+                Processed::Monitor(f, stats) if pred(f) => return Some((f, stats)),
                 _ => continue,
             }
         }
@@ -1087,6 +1129,8 @@ impl Simulator {
                     total_sent: fl.total_sent,
                     total_acked: fl.total_acked,
                     total_lost: fl.total_lost,
+                    total_acked_bytes: fl.total_acked_bytes,
+                    active_s,
                     pkts_in_flight: fl.outstanding.len() as u64,
                 }
             })
@@ -1284,6 +1328,120 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
         assert!((slope(&pts) - 3.0).abs() < 1e-12);
         assert_eq!(slope(&pts[..1]), 0.0);
+    }
+
+    /// Pins the per-flow aggregation semantics for flows that end
+    /// before the sweep horizon: `throughput_bps` is **duration
+    /// weighted** (bytes over the active window, here ~5 s), never
+    /// horizon weighted (which would halve it), and the exported
+    /// `total_acked_bytes`/`active_s` fields reproduce it exactly so
+    /// aggregators can compute horizon-weighted goodput themselves.
+    #[test]
+    fn early_ending_flow_throughput_is_duration_weighted() {
+        let mut sc = Scenario::single(10e6, 10, 500, 0.0, 10);
+        sc.flows[0].stop = Some(SimTime::from_secs(5));
+        let res = Simulator::new(sc, vec![Box::new(FixedRate::new(4e6))]).run();
+        let f = &res.flows[0];
+        assert!((f.active_s - 5.0).abs() < 0.01, "active_s {}", f.active_s);
+        assert!(
+            (f.throughput_bps - 4e6).abs() / 4e6 < 0.05,
+            "duration-weighted throughput {} != 4e6",
+            f.throughput_bps
+        );
+        assert!(
+            (f.throughput_bps - f.total_acked_bytes as f64 * 8.0 / f.active_s).abs() < 1.0,
+            "exported fields must reproduce the reported rate"
+        );
+        // Horizon-weighted goodput is the caller's derived quantity.
+        let horizon = f.total_acked_bytes as f64 * 8.0 / 10.0;
+        assert!((horizon - 2e6).abs() / 2e6 < 0.06, "horizon rate {horizon}");
+    }
+
+    /// A degenerate lifecycle window (stop at or before start) yields
+    /// a flow that never sends — not even the start instant's packet.
+    #[test]
+    fn degenerate_window_flow_never_sends() {
+        let mut sc = Scenario::dumbbell(10e6, 10, 100, 2, 0.0, 10);
+        sc.flows[1] = crate::scenario::FlowSpec::running(5.0, 2.0);
+        let res = Simulator::new(
+            sc,
+            vec![Box::new(Aimd::new()), Box::new(FixedRate::new(5e6))],
+        )
+        .run();
+        assert_eq!(res.flows[1].total_sent, 0);
+        assert!(res.flows[1].per_sec_mbits.iter().all(|&x| x == 0.0));
+    }
+
+    /// A flow whose start lies beyond the horizon never runs: zero
+    /// packets, zero bytes, no NaN/negative metrics from the epsilon
+    /// active window.
+    #[test]
+    fn flow_starting_after_horizon_reports_zeros() {
+        let mut sc = Scenario::dumbbell(10e6, 10, 100, 2, 0.0, 5);
+        sc.flows[1].start = SimTime::from_secs(20);
+        let res = Simulator::new(
+            sc,
+            vec![Box::new(Aimd::new()), Box::new(FixedRate::new(1e6))],
+        )
+        .run();
+        let late = &res.flows[1];
+        assert_eq!(late.total_sent, 0);
+        assert_eq!(late.total_acked_bytes, 0);
+        assert_eq!(late.throughput_bps, 0.0);
+        assert!(late.active_s > 0.0, "epsilon floor, not zero");
+        assert!(late.utilization == 0.0 && late.loss_rate == 0.0);
+    }
+
+    /// Mid-run churn: a competitor that leaves releases its bandwidth
+    /// to the survivor, and packet conservation holds exactly for both
+    /// flows (including the leaver's packets still in flight at stop).
+    #[test]
+    fn leaving_flow_releases_bandwidth_and_conserves_packets() {
+        let mut sc = Scenario::dumbbell(10e6, 10, 100, 2, 0.0, 20);
+        sc.flows[1].stop = Some(SimTime::from_secs(10));
+        let res = Simulator::new(sc, vec![Box::new(Aimd::new()), Box::new(Aimd::new())]).run();
+        for f in &res.flows {
+            assert_eq!(
+                f.total_acked + f.total_lost + f.pkts_in_flight,
+                f.total_sent
+            );
+        }
+        let survivor = &res.flows[0];
+        let before: f64 = survivor.per_sec_mbits[4..9].iter().sum::<f64>() / 5.0;
+        let after: f64 = survivor.per_sec_mbits[14..19].iter().sum::<f64>() / 5.0;
+        assert!(
+            after > before * 1.3,
+            "survivor must reclaim the leaver's share: {before} -> {after}"
+        );
+    }
+
+    /// Multi-flow external-agent mode: two externally driven flows each
+    /// pause the simulation at their own monitor boundaries and can be
+    /// steered independently.
+    #[test]
+    fn external_mode_drives_multiple_flows() {
+        let sc = Scenario::dumbbell(10e6, 20, 500, 2, 0.0, 10);
+        let mut sim = Simulator::new(
+            sc,
+            vec![
+                Box::new(crate::cc::ExternalRate {
+                    initial_rate_bps: 1e6,
+                }),
+                Box::new(crate::cc::ExternalRate {
+                    initial_rate_bps: 1e6,
+                }),
+            ],
+        );
+        let mut ticks = [0usize; 2];
+        while let Some((f, _stats)) = sim.advance_until_monitor_where(|_| true) {
+            ticks[f] += 1;
+            let next = (sim.rate(f) * 1.2).min(4e6);
+            sim.set_rate(f, next);
+        }
+        assert!(ticks[0] > 20 && ticks[1] > 20, "ticks {ticks:?}");
+        let res = sim.result();
+        assert!(res.flows[0].throughput_bps > 1e6);
+        assert!(res.flows[1].throughput_bps > 1e6);
     }
 
     #[test]

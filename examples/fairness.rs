@@ -1,55 +1,64 @@
-//! Fairness demo over the sweep harness: each classic scheme runs a
-//! small matrix of multi-flow and cross-traffic cells in parallel, and
-//! the per-cell Jain index comes straight out of the sweep report —
-//! the §6.4 methodology on classic schemes (runs with no training).
+//! Fairness demo over the competition runner: classic schemes compete
+//! in duels and staircase churn on a shared bottleneck, and the
+//! fairness analytics — overlap-window Jain index, friendliness
+//! against an all-CUBIC control run, and time to fair share — come
+//! straight out of the sweep report (the §6.4 methodology on classic
+//! schemes; runs with no training).
 //!
 //! ```text
 //! cargo run --release --example fairness
 //! ```
 
-use mocc::eval::{FlowLoad, SweepRunner, SweepSpec, TraceShape};
+use mocc::eval::{fmt_opt_metric, BaselineContenders, CompetitionSpec, ContenderMix, SweepRunner};
 
 fn main() {
-    // 12 Mbps bottleneck, 20 ms RTT, two queue depths; three flow
-    // populations: 2 and 3 greedy flows sharing the link, plus one
-    // greedy flow against an on/off cross-traffic flow.
-    let spec = SweepSpec {
+    // 12 Mbps bottleneck, 20 ms base RTT: same-scheme duels and
+    // 3-flow staircase churn (join every 5 s, leave in reverse) per
+    // scheme, plus each scheme head-to-head against CUBIC.
+    let mut mixes = Vec::new();
+    for scheme in ["cubic", "bbr", "vegas", "copa"] {
+        mixes.push(ContenderMix::duel(scheme, scheme));
+        mixes.push(ContenderMix::staircase(scheme, 3, 5.0));
+        if scheme != "cubic" {
+            mixes.push(ContenderMix::duel(scheme, "cubic"));
+        }
+    }
+    let spec = CompetitionSpec {
+        mixes,
         bandwidth_mbps: vec![12.0],
         owd_ms: vec![10],
-        queue_pkts: vec![40, 400],
-        loss: vec![0.0],
-        shapes: vec![TraceShape::Constant],
-        loads: vec![
-            FlowLoad::Steady(2),
-            FlowLoad::Steady(3),
-            FlowLoad::OnOffCross(1),
-        ],
-        duration_s: 60,
-        mss_bytes: 1500,
-        seed: 7,
-        agent_mi: false,
+        queue_pkts: vec![120],
+        duration_s: 40,
+        ..CompetitionSpec::quick()
     };
     let runner = SweepRunner::auto();
     println!(
-        "{} cells per scheme, {} worker threads (J = 1 is a perfectly equal share)\n",
+        "{} competition cells, {} worker threads",
         spec.cell_count(),
         runner.threads()
     );
+    println!("(J = 1 is a perfectly equal share; friendliness = flow 0's share over");
+    println!(" the share it gets when everyone runs CUBIC; conv = seconds from the");
     println!(
-        "{:<8} {:>10} {:>10} {:>12} {:>10} {:>8}",
-        "scheme", "queue", "load", "goodput Mb", "util", "J"
+        " last join until J >= {} holds for {} s)\n",
+        spec.fair_jain, spec.fair_sustain_s
     );
-    for name in ["cubic", "bbr", "vegas", "copa"] {
-        let report = runner.run_baseline(&spec, name);
-        for cell in &report.cells {
-            println!(
-                "{:<8} {:>10} {:>10} {:>12.2} {:>10.3} {:>8.3}",
-                name, cell.queue_pkts, cell.load, cell.goodput_mbps, cell.utilization, cell.jain
-            );
-        }
-        println!();
+    let report = runner.run_competition(&spec, "baselines", &BaselineContenders);
+    println!(
+        "{:<22} {:>12} {:>8} {:>8} {:>10} {:>8}",
+        "mix", "goodput Mb", "util", "J", "friendly", "conv s"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<22} {:>12.2} {:>8.3} {:>8.3} {:>10} {:>8}",
+            cell.load,
+            cell.goodput_mbps,
+            cell.utilization,
+            cell.jain,
+            fmt_opt_metric(cell.friendliness),
+            fmt_opt_metric(cell.convergence_s),
+        );
     }
-    println!("(cross-traffic cells pit the scheme against a 2 s on / 2 s off competitor;");
-    println!(" see `cargo run -p mocc-bench --bin fig11_15` for the full Figs. 11-15");
-    println!(" reproduction including MOCC variants)");
+    println!("\n(see `cargo run -p mocc-bench --bin competition` for the MOCC variants");
+    println!(" driven by batched policy inference, and fig11_15 for the full §6.4 set)");
 }

@@ -15,11 +15,14 @@
 //! `MOCC_SWEEP_THREADS=1` and with the default worker count, so any
 //! scheduling-dependent nondeterminism fails the build.
 
+use mocc::core::{BatchMoccEvaluator, MoccAgent, MoccConfig, Preference};
 use mocc::eval::{
-    run_cell, BaselineFactory, CellEvaluator, CellReport, FlowLoad, SweepCell, SweepReport,
-    SweepRunner, SweepSpec, TraceShape,
+    run_cell, BaselineContenders, BaselineFactory, CellEvaluator, CellReport, CompetitionSpec,
+    ContenderMix, FlowLoad, SweepCell, SweepReport, SweepRunner, SweepSpec, TraceShape,
 };
 use mocc::netsim::cc::{Aimd, CongestionControl};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::path::PathBuf;
 
 /// Controllers with golden fixtures.
@@ -57,6 +60,63 @@ fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(format!("golden_{name}.json"))
+}
+
+/// The frozen golden competition matrix: baseline duels plus staircase
+/// churn over two RTT classes (6 cells). Do not edit without
+/// regenerating every competition fixture — cell indices and seeds
+/// depend on the exact values.
+fn golden_competition_spec() -> CompetitionSpec {
+    CompetitionSpec {
+        mixes: vec![
+            ContenderMix::duel("cubic", "bbr"),
+            ContenderMix::duel("vegas", "copa"),
+            ContenderMix::staircase("cubic", 3, 4.0),
+        ],
+        bandwidth_mbps: vec![12.0],
+        owd_ms: vec![10, 40],
+        queue_pkts: vec![120],
+        duration_s: 24,
+        mss_bytes: 1500,
+        seed: 42,
+        agent_mi: true,
+        tcp_baseline: "cubic".to_string(),
+        fair_jain: 0.9,
+        fair_sustain_s: 3,
+    }
+}
+
+/// The frozen MOCC competition matrix: a mixed-preference MOCC pair
+/// and a MOCC-vs-TCP duel, driven through the batched evaluator. The
+/// fair-share bar is the paper's qualitative no-starvation claim
+/// (Jain ≥ 0.75 sustained), not strict equality — an untrained
+/// fixed-seed policy reliably clears it, which keeps the fixture
+/// reproducible without shipping a trained model.
+fn golden_competition_mocc_spec() -> CompetitionSpec {
+    CompetitionSpec {
+        mixes: vec![
+            ContenderMix::duel("mocc:thr", "mocc:lat"),
+            ContenderMix::duel("mocc:bal", "cubic"),
+        ],
+        bandwidth_mbps: vec![10.0],
+        owd_ms: vec![20],
+        queue_pkts: vec![120],
+        duration_s: 20,
+        mss_bytes: 1500,
+        seed: 42,
+        agent_mi: true,
+        tcp_baseline: "cubic".to_string(),
+        fair_jain: 0.75,
+        fair_sustain_s: 3,
+    }
+}
+
+/// The fixed-seed (untrained) agent behind the MOCC competition
+/// fixture: deterministic across platforms via the vendored RNG.
+fn golden_mocc_evaluator() -> BatchMoccEvaluator {
+    let mut rng = StdRng::seed_from_u64(11);
+    let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
+    BatchMoccEvaluator::new(&agent, Preference::balanced(), 0.3)
 }
 
 fn assert_cell_close(got: &CellReport, want: &CellReport, ctrl: &str) {
@@ -169,6 +229,106 @@ fn golden_fixtures_byte_identical_via_batched_runner() {
     }
 }
 
+/// Golden competition fixtures: the frozen contender-mix matrix must
+/// reproduce `golden_competition_baselines.json` byte for byte. The
+/// `sweep-regression` CI job runs this at 1 thread and at the default
+/// worker count, so scheduling can never perturb competition results.
+#[test]
+fn golden_competition_baselines() {
+    let path = fixture_path("competition_baselines");
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}; generate it with \
+             `cargo test --test golden_sweep -- --ignored regen_golden`",
+            path.display()
+        )
+    });
+    let got =
+        SweepRunner::auto().run_competition(&golden_competition_spec(), "mix", &BaselineContenders);
+    assert_eq!(
+        got.to_canonical_json(),
+        fixture,
+        "competition sweep drifted from the golden fixture; if intentional, \
+         regenerate with `cargo test --test golden_sweep -- --ignored regen_golden`"
+    );
+}
+
+/// Golden MOCC competition fixture: mixed-preference MOCC duels driven
+/// through the batched evaluator reproduce
+/// `golden_competition_mocc.json` byte for byte.
+#[test]
+fn golden_competition_mocc() {
+    let path = fixture_path("competition_mocc");
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}; generate it with \
+             `cargo test --test golden_sweep -- --ignored regen_golden`",
+            path.display()
+        )
+    });
+    let got = SweepRunner::auto().run_competition_evaluator(
+        &golden_competition_mocc_spec(),
+        "mocc-competition",
+        &golden_mocc_evaluator().with_batch_size(4),
+    );
+    assert_eq!(
+        got.to_canonical_json(),
+        fixture,
+        "MOCC competition drifted from the golden fixture; if intentional, \
+         regenerate with `cargo test --test golden_sweep -- --ignored regen_golden`"
+    );
+}
+
+/// Acceptance gate for the competition subsystem: the report is
+/// byte-identical across 1 vs 4 worker threads and across batched-
+/// inference chunk sizes, and the paper's qualitative fairness claims
+/// come out finite — the mixed-preference MOCC pair and the
+/// MOCC-vs-cubic cell each produce a Jain index, a friendliness ratio,
+/// and a time-to-fair-share.
+#[test]
+fn competition_report_identical_across_threads_and_batches() {
+    let spec = golden_competition_mocc_spec();
+    let serial = SweepRunner::with_threads(1).run_competition_evaluator(
+        &spec,
+        "mocc-competition",
+        &golden_mocc_evaluator().with_batch_size(1),
+    );
+    let batched = SweepRunner::with_threads(4).run_competition_evaluator(
+        &spec,
+        "mocc-competition",
+        &golden_mocc_evaluator().with_batch_size(8),
+    );
+    assert_eq!(
+        serial.to_canonical_json(),
+        batched.to_canonical_json(),
+        "thread count or batch size changed the competition report"
+    );
+    for cell in &serial.cells {
+        assert!(
+            cell.jain > 0.0 && cell.jain <= 1.0,
+            "{}: Jain {}",
+            cell.load,
+            cell.jain
+        );
+        let friendliness = cell
+            .friendliness
+            .unwrap_or_else(|| panic!("{}: no friendliness ratio", cell.load));
+        assert!(
+            friendliness.is_finite() && friendliness > 0.0,
+            "{}: friendliness {friendliness}",
+            cell.load
+        );
+        let convergence = cell
+            .convergence_s
+            .unwrap_or_else(|| panic!("{}: fair share never reached", cell.load));
+        assert!(
+            convergence.is_finite() && convergence >= 0.0,
+            "{}: convergence {convergence}",
+            cell.load
+        );
+    }
+}
+
 /// Acceptance gate for the harness itself: a 64-cell matrix sharded
 /// over 4 threads produces canonical JSON byte-identical to a
 /// single-threaded run of the same spec. The spec is the perf
@@ -210,4 +370,17 @@ fn regen_golden() {
         std::fs::write(&path, report.to_canonical_json()).expect("write fixture");
         eprintln!("regenerated {}", path.display());
     }
+    let competition =
+        SweepRunner::auto().run_competition(&golden_competition_spec(), "mix", &BaselineContenders);
+    let path = fixture_path("competition_baselines");
+    std::fs::write(&path, competition.to_canonical_json()).expect("write fixture");
+    eprintln!("regenerated {}", path.display());
+    let mocc = SweepRunner::auto().run_competition_evaluator(
+        &golden_competition_mocc_spec(),
+        "mocc-competition",
+        &golden_mocc_evaluator().with_batch_size(4),
+    );
+    let path = fixture_path("competition_mocc");
+    std::fs::write(&path, mocc.to_canonical_json()).expect("write fixture");
+    eprintln!("regenerated {}", path.display());
 }

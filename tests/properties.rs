@@ -1,10 +1,13 @@
 //! Property-based integration tests over the workspace invariants.
 
 use mocc::core::{landmark_count, landmarks, Preference};
-use mocc::eval::{FlowLoad, SweepCell, SweepRunner, SweepSpec, TraceShape};
+use mocc::eval::{
+    BaselineContenders, CompetitionSpec, ContenderMix, FlowLoad, SweepCell, SweepRunner, SweepSpec,
+    TraceShape,
+};
 use mocc::netsim::cc::{Aimd, CongestionControl, FixedRate};
 use mocc::netsim::metrics::jain_index;
-use mocc::netsim::{Scenario, Simulator};
+use mocc::netsim::{FlowSpec, Scenario, Simulator};
 use mocc::nn::Matrix;
 use mocc::rl::{GaussianPolicy, PolicyScratch};
 use proptest::prelude::*;
@@ -74,6 +77,64 @@ proptest! {
         };
         let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &factory);
         let parallel = SweepRunner::with_threads(3).run(&spec, "aimd", &factory);
+        prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
+    }
+
+    /// Flow churn preserves the simulator's core invariants: for any
+    /// lifecycle schedule (flows joining and leaving at arbitrary
+    /// times, including degenerate windows and starts beyond the
+    /// horizon), packet conservation holds exactly per flow and the
+    /// event clock never runs backwards.
+    #[test]
+    fn churn_conserves_packets_and_clock(
+        lifecycles in proptest::collection::vec(
+            (0.0f64..9.0, 0.1f64..10.0, 0.5f64..12.0), 1..4),
+        owd_ms in 5u64..60,
+        queue in 20usize..500,
+        loss in 0.0f64..0.1,
+    ) {
+        let mut sc = Scenario::single(8e6, owd_ms, queue, loss, 8);
+        sc.flows.clear();
+        let mut ccs: Vec<Box<dyn CongestionControl>> = Vec::new();
+        for &(start, len, rate_mbps) in &lifecycles {
+            sc.flows.push(FlowSpec::running(start, start + len));
+            ccs.push(Box::new(FixedRate::new(rate_mbps * 1e6)));
+        }
+        let mut sim = Simulator::new(sc, ccs);
+        let mut last = sim.now();
+        while sim.process_next().is_some() {
+            prop_assert!(sim.now() >= last, "clock ran backwards under churn");
+            last = sim.now();
+        }
+        for (i, f) in sim.result().flows.iter().enumerate() {
+            prop_assert!(
+                f.total_acked + f.total_lost + f.pkts_in_flight == f.total_sent,
+                "flow {} leaked packets", i
+            );
+            prop_assert!(f.active_s > 0.0);
+            prop_assert!(f.throughput_bps >= 0.0 && f.throughput_bps.is_finite());
+        }
+    }
+
+    /// A parallel competition sweep (duels plus staircase churn)
+    /// produces canonical JSON byte-identical to a serial sweep of the
+    /// same spec and seed — the determinism contract the competition
+    /// golden fixtures depend on.
+    #[test]
+    fn competition_parallel_equals_serial(seed in 0u64..1_000_000) {
+        let spec = CompetitionSpec {
+            mixes: vec![
+                ContenderMix::duel("cubic", "vegas"),
+                ContenderMix::staircase("bbr", 2, 2.0),
+            ],
+            duration_s: 6,
+            seed,
+            ..CompetitionSpec::quick()
+        };
+        let serial = SweepRunner::with_threads(1)
+            .run_competition(&spec, "mix", &BaselineContenders);
+        let parallel = SweepRunner::with_threads(3)
+            .run_competition(&spec, "mix", &BaselineContenders);
         prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
     }
 

@@ -45,6 +45,27 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+    /// Tuples of strategies are strategies over tuples (as in real
+    /// proptest), generating components left to right — used for
+    /// composite draws like `collection::vec((0.0..1.0, 1u64..9), n)`.
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+    }
+
     /// A strategy producing one fixed value (proptest's `Just`).
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
