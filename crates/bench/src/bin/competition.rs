@@ -8,15 +8,22 @@
 //! ratio against an all-CUBIC control run, and time to fair share.
 //!
 //! The trained agent is cached under `target/mocc-cache/` (shared with
-//! the other figure binaries); the first run trains it once. Set
-//! `MOCC_BENCH_FULL=1` for longer horizons.
+//! the other figure binaries); the first run trains it once, and the
+//! experiment itself is a declarative [`ExperimentSpec`] whose policy
+//! section points at that cache file — the same document `mocc run`
+//! would accept. Set `MOCC_BENCH_FULL=1` for longer horizons.
 
-use mocc_core::{BatchMoccEvaluator, Preference};
-use mocc_eval::{fmt_opt_metric, CompetitionSpec, ContenderMix, SweepRunner};
+use mocc_eval::{
+    fmt_opt_metric, CompetitionSpec, ContenderMix, ExperimentSpec, MoccPrefSpec, PolicySpec,
+    SweepRunner,
+};
 
 fn main() {
     let full = mocc_bench::full_scale();
-    let agent = mocc_bench::trained_mocc();
+    // Train (or load) the cached agent so the spec's policy path
+    // resolves.
+    let _ = mocc_bench::trained_mocc();
+    let agent_path = mocc_bench::trained_mocc_path();
     let duration_s: u64 = if full { 60 } else { 24 };
 
     let mut mixes = vec![
@@ -62,8 +69,13 @@ fn main() {
         spec.fair_sustain_s
     );
 
-    let evaluator = BatchMoccEvaluator::new(&agent, Preference::balanced(), 0.3);
-    let report = runner.run_competition_evaluator(&spec, "mocc-competition", &evaluator);
+    let mut exp = ExperimentSpec::from_competition("mocc-competition", &spec);
+    exp.policy = Some(PolicySpec {
+        path: Some(agent_path.display().to_string()),
+        preference: MoccPrefSpec::Balanced,
+        ..PolicySpec::default()
+    });
+    let report = mocc_core::run_experiment(&runner, &exp).expect("valid competition spec");
 
     println!(
         "{:<26} {:>6} {:>12} {:>8} {:>8} {:>10} {:>8}",
@@ -72,7 +84,7 @@ fn main() {
     for cell in &report.cells {
         println!(
             "{:<26} {:>6} {:>12.2} {:>8.3} {:>8.3} {:>10} {:>8}",
-            cell.load,
+            cell.mix.as_deref().unwrap_or(&cell.load),
             2 * cell.owd_ms,
             cell.goodput_mbps,
             cell.utilization,

@@ -7,13 +7,16 @@
 //! values go far beyond the training ranges (Table 3), probing
 //! robustness.
 //!
-//! Driven by the `mocc-eval` sweep harness: each panel's parameter
-//! sweep is one [`SweepSpec`] executed in parallel by a [`SweepRunner`]
-//! (worker count auto-detected; override with `MOCC_SWEEP_THREADS`).
+//! Driven by the unified experiment API: each panel's parameter sweep
+//! is one declarative [`ExperimentSpec`] per scheme, resolved through
+//! the figure [`mocc_bench::figure_registry`] (baselines plus the
+//! cached trained MOCC/Aurora models as pluggable registry schemes)
+//! and executed in parallel by [`SweepRunner::run_in`] (worker count
+//! auto-detected; override with `MOCC_SWEEP_THREADS`).
 
-use mocc_bench::{header, row, run_single, standard_schemes, Scheme};
+use mocc_bench::{figure_registry, header, row, run_single, standard_schemes, Scheme};
 use mocc_core::Preference;
-use mocc_eval::{FlowLoad, SweepCell, SweepRunner, SweepSpec, TraceShape};
+use mocc_eval::{ExperimentSpec, FlowLoad, SchemeRegistry, SweepRunner, SweepSpec, TraceShape};
 use mocc_netsim::Scenario;
 
 /// The fixed operating point each sweep varies one axis away from.
@@ -56,7 +59,13 @@ fn sweeps(dur: u64) -> Vec<(&'static str, Vec<f64>, SweepSpec)> {
     out
 }
 
-fn run_panel(metric: &str, pref: Preference, runner: SweepRunner, dur: u64) {
+fn run_panel(
+    metric: &str,
+    pref: Preference,
+    registry: &SchemeRegistry,
+    runner: SweepRunner,
+    dur: u64,
+) {
     for (name, values, spec) in sweeps(dur) {
         println!("\n-- sweep: {name} ({metric}) --");
         header(
@@ -65,13 +74,12 @@ fn run_panel(metric: &str, pref: Preference, runner: SweepRunner, dur: u64) {
             9,
         );
         for scheme in standard_schemes(pref) {
-            let factory = |cell: &SweepCell| {
-                let initial = 0.3 * cell.scenario.link.trace.max_rate();
-                (0..cell.scenario.flows.len())
-                    .map(|_| scheme.make(initial))
-                    .collect::<Vec<_>>()
-            };
-            let report = runner.run(&spec, &scheme.label(), &factory);
+            let label = scheme.label();
+            let parsed = registry
+                .parse(&label)
+                .expect("every figure scheme is registered");
+            let exp = ExperimentSpec::from_sweep(&label, parsed, &spec);
+            let report = runner.run_in(&exp, registry).expect("valid figure spec");
             let vals: Vec<f64> = report
                 .cells
                 .iter()
@@ -80,7 +88,7 @@ fn run_panel(metric: &str, pref: Preference, runner: SweepRunner, dur: u64) {
                     _ => c.latency_ratio,
                 })
                 .collect();
-            row(&scheme.label(), &vals, 9, 3);
+            row(&label, &vals, 9, 3);
         }
     }
 }
@@ -88,11 +96,9 @@ fn run_panel(metric: &str, pref: Preference, runner: SweepRunner, dur: u64) {
 fn main() {
     let full = mocc_bench::full_scale();
     let dur: u64 = if full { 60 } else { 30 };
-    // Warm the model caches before the parallel sweep workers race to
-    // load them.
-    let _ = mocc_bench::trained_mocc();
-    let _ = mocc_bench::trained_aurora("thr", Preference::throughput());
-    let _ = mocc_bench::trained_aurora("lat", Preference::latency());
+    // Building the registry trains/loads every cached model once, up
+    // front, before the parallel sweep workers need them.
+    let registry = figure_registry();
     let runner = SweepRunner::auto();
     println!(
         "(sweeps sharded over {} worker threads; set MOCC_SWEEP_THREADS to override)",
@@ -100,10 +106,16 @@ fn main() {
     );
 
     println!("\n== Figure 5(a-d): link utilization, MOCC preference <0.8,0.1,0.1> ==");
-    run_panel("utilization", Preference::throughput(), runner, dur);
+    run_panel(
+        "utilization",
+        Preference::throughput(),
+        &registry,
+        runner,
+        dur,
+    );
 
     println!("\n== Figure 5(e-h): latency ratio, MOCC preference <0.1,0.8,0.1> ==");
-    run_panel("latency", Preference::latency(), runner, dur);
+    run_panel("latency", Preference::latency(), &registry, runner, dur);
 
     // Headline comparisons the paper calls out in §6.1.
     println!("\n== headline checks ==");

@@ -1,0 +1,195 @@
+//! `mocc` — the spec-file CLI: validate and run declarative
+//! experiments end to end, no recompilation.
+//!
+//! ```text
+//! mocc run <spec.json> [--threads N] [--batch N] [--out FILE]
+//! mocc validate <spec.json>...
+//! mocc list-schemes
+//! ```
+//!
+//! `run` loads an [`ExperimentSpec`] document (see `docs/SPECS.md`),
+//! validates it against the scheme registry, executes it — including
+//! `mocc` schemes, whose policy the spec's `policy` section pins
+//! reproducibly — and writes the canonical-JSON report to stdout (or
+//! `--out`). The report is byte-identical for any `--threads` value.
+//!
+//! `validate` checks documents without running anything; every
+//! problem is a typed [`SpecError`] naming the offending label or
+//! field. `list-schemes` prints the scheme vocabulary and the label
+//! grammar.
+
+use mocc_eval::{ExperimentSpec, SchemeRegistry, SweepRunner};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mocc — run declarative MOCC experiment specs (docs/SPECS.md)
+
+USAGE:
+    mocc run <spec.json> [--threads N] [--batch N] [--out FILE]
+    mocc validate <spec.json>...
+    mocc list-schemes
+
+OPTIONS (run):
+    --threads N   worker threads (default: MOCC_SWEEP_THREADS or all cores)
+    --batch N     override the policy section's inference batch size
+    --out FILE    write the canonical-JSON report to FILE instead of stdout
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("list-schemes") => cmd_list_schemes(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag N` style options out of `args`, returning the
+/// remaining positional arguments.
+fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
+    let mut positional = Vec::new();
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => opts.threads = Some(parse_count(&mut it, "--threads")?),
+            "--batch" => opts.batch = Some(parse_count(&mut it, "--batch")?),
+            "--out" => {
+                opts.out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}\n\n{USAGE}"))
+            }
+            other => positional.push(other),
+        }
+    }
+    Ok((positional, opts))
+}
+
+#[derive(Default)]
+struct Options {
+    threads: Option<usize>,
+    batch: Option<usize>,
+    out: Option<String>,
+}
+
+fn parse_count<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<usize, String> {
+    let raw = it
+        .next()
+        .ok_or_else(|| format!("{flag} needs a positive integer"))?;
+    raw.parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| format!("{flag} {raw:?} is not a positive integer"))
+}
+
+fn load_spec(path: &str) -> Result<ExperimentSpec, String> {
+    ExperimentSpec::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    let &[path] = positional.as_slice() else {
+        return Err(format!("`mocc run` takes exactly one spec file\n\n{USAGE}"));
+    };
+    let mut exp = load_spec(path)?;
+    if let Some(batch) = opts.batch {
+        match &mut exp.policy {
+            Some(policy) => policy.batch = batch,
+            None => {
+                return Err(format!(
+                    "{path}: --batch overrides the spec's policy section, \
+                     but this spec has none (no `mocc` schemes)"
+                ))
+            }
+        }
+    }
+    let runner = match opts.threads {
+        Some(n) => SweepRunner::with_threads(n),
+        None => SweepRunner::auto(),
+    };
+    eprintln!(
+        "[mocc] {}: {} cells over {} worker threads",
+        exp.name,
+        exp.cell_count(),
+        runner.threads()
+    );
+    let report = mocc_core::run_experiment(&runner, &exp).map_err(|e| format!("{path}: {e}"))?;
+    let json = report.to_canonical_json();
+    match &opts.out {
+        Some(out) => std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?,
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    if positional.is_empty() {
+        return Err(format!("`mocc validate` takes spec files\n\n{USAGE}"));
+    }
+    if opts.threads.is_some() || opts.batch.is_some() || opts.out.is_some() {
+        return Err("`mocc validate` takes no options".to_string());
+    }
+    let registry = SchemeRegistry::builtin();
+    let mut failures = 0usize;
+    for path in &positional {
+        match load_spec(path).and_then(|exp| {
+            exp.validate_in(&registry)
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(exp)
+        }) {
+            Ok(exp) => {
+                let kind = match exp.needs_policy() {
+                    true => "policy-driven",
+                    false => "baseline-only",
+                };
+                println!("{path}: ok ({} cells, {kind})", exp.cell_count());
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} specs invalid", positional.len()));
+    }
+    Ok(())
+}
+
+fn cmd_list_schemes(args: &[String]) -> Result<(), String> {
+    if !args.is_empty() {
+        return Err("`mocc list-schemes` takes no arguments".to_string());
+    }
+    let registry = SchemeRegistry::builtin();
+    println!("registry schemes:");
+    for (name, summary) in registry.entries() {
+        println!("  {name:<14} {summary}");
+    }
+    println!("\nmocc schemes (need a `policy` section in the spec):");
+    println!("  mocc           the policy under the spec's default preference");
+    println!("  mocc:thr       throughput preference <0.8, 0.1, 0.1>");
+    println!("  mocc:lat       latency preference <0.1, 0.8, 0.1>");
+    println!("  mocc:bal       balanced preference <1/3, 1/3, 1/3>");
+    println!("  mocc:w1,w2,w3  explicit (thr, lat, loss) weights, normalized");
+    println!("\ncompetition mixes: duel:<a>+<b>[+…] | stair:<scheme>:<n>x<phase_s>");
+    Ok(())
+}

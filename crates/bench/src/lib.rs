@@ -39,9 +39,16 @@ pub fn cache_dir() -> PathBuf {
     dir
 }
 
+/// Path of the cached offline-trained MOCC agent — the file
+/// [`trained_mocc`] maintains and spec-file `policy.path` sections
+/// point at.
+pub fn trained_mocc_path() -> PathBuf {
+    cache_dir().join("mocc-agent.json")
+}
+
 /// The offline-trained MOCC agent (trained on first use, then cached).
 pub fn trained_mocc() -> MoccAgent {
-    let path = cache_dir().join("mocc-agent.json");
+    let path = trained_mocc_path();
     if let Ok(agent) = MoccAgent::load(&path) {
         return agent;
     }
@@ -145,6 +152,45 @@ impl Scheme {
             }
         }
     }
+}
+
+/// The figure binaries' scheme registry: every `mocc-cc` baseline
+/// plus the cached trained models — MOCC under the three example
+/// preferences (labelled as [`Scheme::Mocc`] prints them) and the two
+/// fixed-objective Aurora models — each starting at 30 % of the cell's
+/// peak rate, the §6 initialization convention. Built once so the
+/// cached agents are loaded once, then shared by every cell a
+/// spec-driven sweep instantiates.
+pub fn figure_registry() -> mocc_eval::SchemeRegistry {
+    let mut reg = mocc_eval::SchemeRegistry::builtin();
+    let mocc = trained_mocc();
+    for pref in [
+        Preference::throughput(),
+        Preference::latency(),
+        Preference::balanced(),
+    ] {
+        let agent = mocc.clone();
+        let label = Scheme::Mocc(pref).label();
+        let summary = format!(
+            "trained MOCC, registered preference <{:.1},{:.1},{:.1}>",
+            pref.thr, pref.lat, pref.loss
+        );
+        reg = reg.with_scheme(&label, &summary, move |ctx| {
+            Box::new(MoccCc::new(&agent, pref, 0.3 * ctx.peak_rate_bps))
+        });
+    }
+    for (tag, pref) in [
+        ("thr", Preference::throughput()),
+        ("lat", Preference::latency()),
+    ] {
+        let agent = trained_aurora(tag, pref);
+        let label = Scheme::Aurora(tag, pref).label();
+        let summary = format!("fixed-objective Aurora ({tag})");
+        reg = reg.with_scheme(&label, &summary, move |ctx| {
+            Box::new(AuroraCc::new(&agent, 0.3 * ctx.peak_rate_bps))
+        });
+    }
+    reg
 }
 
 /// The standard scheme lineup of §6.1 (Fig. 5).

@@ -12,7 +12,7 @@
 //! the artifact that seeds the repository's performance trajectory.
 
 use mocc_core::{MoccAgent, MoccConfig, Preference};
-use mocc_eval::{FlowLoad, SweepRunner, SweepSpec, TraceShape};
+use mocc_eval::{BaselineFactory, FlowLoad, SweepRunner, SweepSpec, TraceShape};
 use mocc_netsim::{Scenario, Simulator};
 use mocc_nn::{Activation, Mlp};
 use rand::rngs::StdRng;
@@ -215,7 +215,12 @@ fn sweep_cells_per_sec(threads: usize, reps: u64) -> f64 {
     let cells = spec.cell_count() as f64;
     let runner = SweepRunner::with_threads(threads);
     let secs = best_of(reps, || {
-        black_box(runner.run_baseline(&spec, "cubic").summary.mean_utility);
+        black_box(
+            runner
+                .run_factory(&spec, "cubic", &BaselineFactory::new("cubic"))
+                .summary
+                .mean_utility,
+        );
     });
     cells / secs
 }
@@ -230,7 +235,7 @@ fn mocc_cells_per_sec(threads: usize, reps: u64) -> f64 {
     let secs = best_of(reps, || {
         black_box(
             runner
-                .run_evaluator(&spec, "mocc-batched", &eval)
+                .run_cells(&spec, "mocc-batched", &eval)
                 .summary
                 .mean_utility,
         );

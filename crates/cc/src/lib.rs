@@ -45,6 +45,21 @@ pub const BASELINES: &[&str] = &[
     "orca",
 ];
 
+/// One-line summary of a baseline scheme for registries and CLI
+/// listings; `None` for unknown names.
+pub fn describe(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "cubic" => "loss-based TCP CUBIC: cubic window growth around the last loss point",
+        "vegas" => "delay-based TCP Vegas: backs off on RTT inflation before loss",
+        "bbr" => "model-based BBR: paces at the estimated bottleneck bandwidth",
+        "copa" => "Copa: target rate from queueing-delay gradient with mode switching",
+        "pcc-allegro" => "PCC Allegro: online rate probing on a loss-centric utility",
+        "pcc-vivace" => "PCC Vivace: online rate probing on a latency-aware utility",
+        "orca" => "Orca-like hybrid: heuristic cwnd base with a coarse learned overlay",
+        _ => return None,
+    })
+}
+
 /// Constructs a baseline scheme by name; `None` for unknown names.
 pub fn by_name(name: &str) -> Option<Box<dyn CongestionControl>> {
     Some(match name {
@@ -69,8 +84,10 @@ mod tests {
         for name in BASELINES {
             let cc = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(cc.name(), *name);
+            assert!(describe(name).is_some(), "{name} has no summary");
         }
         assert!(by_name("nonsense").is_none());
+        assert!(describe("nonsense").is_none());
     }
 
     /// Every baseline must sustain nonzero goodput and reasonable

@@ -25,7 +25,7 @@ use crate::preference::Preference;
 use crate::prefnet::PrefNet;
 use mocc_eval::{
     competition_report, contender_by_name, CellEvaluator, CellReport, CompetitionCell,
-    CompetitionEvaluator, SweepCell,
+    CompetitionEvaluator, MoccPrefSpec, SchemeKind, SchemeSpec, SpecError, SweepCell,
 };
 use mocc_netsim::cc::{CongestionControl, ExternalRate, FixedRate};
 use mocc_netsim::Simulator;
@@ -65,23 +65,31 @@ impl BatchMoccEvaluator {
         self
     }
 
-    /// Resolves a competition contender label to a MOCC preference:
-    /// `mocc` uses the evaluator's default preference, `mocc:<spec>`
-    /// parses the spec ([`Preference::parse`]). `None` for non-MOCC
-    /// labels.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a malformed `mocc:` spec — a typo'd preference must
-    /// not silently fall through to the baseline registry.
-    fn mocc_pref(&self, label: &str) -> Option<Preference> {
-        if label == "mocc" {
-            return Some(self.pref);
-        }
-        label.strip_prefix("mocc:").map(|spec| {
-            Preference::parse(spec)
-                .unwrap_or_else(|| panic!("malformed MOCC contender label {label:?}"))
+    /// Resolves a competition contender label through the shared
+    /// scheme grammar: `Ok(Some(pref))` for `mocc` / `mocc:<pref>`
+    /// labels (bare `mocc` uses the evaluator's default preference),
+    /// `Ok(None)` for registry labels, and a typed [`SpecError`] for
+    /// malformed labels — a typo'd preference can neither silently
+    /// fall through to the baseline registry nor panic mid-run when
+    /// the spec was validated up front.
+    fn mocc_pref(&self, label: &str) -> Result<Option<Preference>, SpecError> {
+        let spec = SchemeSpec::parse(label)?;
+        Ok(match spec.kind() {
+            SchemeKind::MoccDefault => Some(self.pref),
+            SchemeKind::Mocc(p) => Some(preference_from_spec(p)),
+            SchemeKind::Registry => None,
         })
+    }
+}
+
+/// Maps a declarative [`MoccPrefSpec`] (the parsed `<pref>` part of a
+/// `mocc:<pref>` label) onto a concrete, normalized [`Preference`].
+pub fn preference_from_spec(spec: &MoccPrefSpec) -> Preference {
+    match spec {
+        MoccPrefSpec::Throughput => Preference::throughput(),
+        MoccPrefSpec::Latency => Preference::latency(),
+        MoccPrefSpec::Balanced => Preference::balanced(),
+        MoccPrefSpec::Weights([t, l, s]) => Preference::new(*t as f32, *l as f32, *s as f32),
     }
 }
 
@@ -223,7 +231,10 @@ impl CompetitionEvaluator for BatchMoccEvaluator {
                     .iter()
                     .enumerate()
                     .map(|(flow, label)| -> Box<dyn CongestionControl> {
-                        if let Some(pref) = self.mocc_pref(label) {
+                        let resolved = self
+                            .mocc_pref(label)
+                            .unwrap_or_else(|e| panic!("{e} (spec not validated?)"));
+                        if let Some(pref) = resolved {
                             controlled[flow] = true;
                             mocc.push(MoccFlow {
                                 flow,
@@ -235,7 +246,17 @@ impl CompetitionEvaluator for BatchMoccEvaluator {
                             })
                         } else {
                             contender_by_name(label).unwrap_or_else(|| {
-                                panic!("unknown contender {label:?}: not a mocc-cc baseline")
+                                panic!(
+                                    "{} (spec not validated?)",
+                                    SpecError::UnknownScheme {
+                                        name: label.to_string(),
+                                        known: mocc_eval::SchemeRegistry::builtin()
+                                            .names()
+                                            .iter()
+                                            .map(|s| s.to_string())
+                                            .collect(),
+                                    }
+                                )
                             })
                         }
                     })
@@ -359,9 +380,8 @@ mod tests {
         let spec = spec();
         let runner1 = SweepRunner::with_threads(1);
         let runner4 = SweepRunner::with_threads(4);
-        let single = runner1.run_evaluator(&spec, "mocc-batched", &evaluator().with_batch_size(1));
-        let batched =
-            runner4.run_evaluator(&spec, "mocc-batched", &evaluator().with_batch_size(32));
+        let single = runner1.run_cells(&spec, "mocc-batched", &evaluator().with_batch_size(1));
+        let batched = runner4.run_cells(&spec, "mocc-batched", &evaluator().with_batch_size(32));
         assert_eq!(single.to_canonical_json(), batched.to_canonical_json());
         assert_eq!(single.cells.len(), spec.cell_count());
         assert!(single.cells.iter().all(|c| c.goodput_mbps > 0.0));
@@ -402,12 +422,12 @@ mod tests {
     #[test]
     fn competition_batch_size_cannot_change_the_report() {
         let spec = competition_spec();
-        let single = SweepRunner::with_threads(1).run_competition_evaluator(
+        let single = SweepRunner::with_threads(1).run_competition_cells(
             &spec,
             "mocc-competition",
             &evaluator().with_batch_size(1),
         );
-        let batched = SweepRunner::with_threads(4).run_competition_evaluator(
+        let batched = SweepRunner::with_threads(4).run_competition_cells(
             &spec,
             "mocc-competition",
             &evaluator().with_batch_size(8),
@@ -436,16 +456,26 @@ mod tests {
     #[test]
     fn mocc_labels_parse_and_reject() {
         let ev = evaluator();
-        assert_eq!(ev.mocc_pref("cubic"), None);
-        assert_eq!(ev.mocc_pref("mocc"), Some(Preference::throughput()));
-        assert_eq!(ev.mocc_pref("mocc:lat"), Some(Preference::latency()));
-        let w = ev.mocc_pref("mocc:0.5,0.3,0.2").unwrap();
+        assert_eq!(ev.mocc_pref("cubic").unwrap(), None);
+        assert_eq!(
+            ev.mocc_pref("mocc").unwrap(),
+            Some(Preference::throughput())
+        );
+        assert_eq!(
+            ev.mocc_pref("mocc:lat").unwrap(),
+            Some(Preference::latency())
+        );
+        let w = ev.mocc_pref("mocc:0.5,0.3,0.2").unwrap().unwrap();
         assert!((w.thr - 0.5).abs() < 1e-6);
     }
 
+    /// A typo'd preference is a typed error — it neither panics nor
+    /// silently falls through to the baseline registry.
     #[test]
-    #[should_panic(expected = "malformed MOCC contender label")]
-    fn malformed_mocc_label_panics() {
-        let _ = evaluator().mocc_pref("mocc:fast");
+    fn malformed_mocc_label_is_a_typed_error() {
+        match evaluator().mocc_pref("mocc:fast") {
+            Err(SpecError::MalformedMoccPref { label, .. }) => assert_eq!(label, "mocc:fast"),
+            other => panic!("expected MalformedMoccPref, got {other:?}"),
+        }
     }
 }

@@ -39,6 +39,7 @@ pub mod aurora;
 pub mod batch_eval;
 pub mod config;
 pub mod env;
+pub mod experiment;
 pub mod graph;
 pub mod online;
 pub mod preference;
@@ -49,9 +50,10 @@ pub use adapter::MoccCc;
 pub use agent::{stats_features, write_obs, MoccAgent};
 pub use api::{MoccLib, MoccLibError, NetStatus};
 pub use aurora::{AuroraAgent, AuroraBank, AuroraCc};
-pub use batch_eval::BatchMoccEvaluator;
+pub use batch_eval::{preference_from_spec, BatchMoccEvaluator};
 pub use config::MoccConfig;
 pub use env::{MoccEnv, ScenarioSource};
+pub use experiment::{agent_from_policy, evaluator_from_policy, run_experiment, run_experiment_in};
 pub use online::{convergence_iter, AdaptationPoint, OnlineAdapter};
 pub use preference::{landmark_count, landmarks, nearest, Preference};
 pub use prefnet::{PrefNet, PrefNetScratch};

@@ -31,6 +31,7 @@
 //!   `fair_sustain_s` consecutive seconds; `None` when never reached.
 
 use crate::report::{round6, CellReport};
+use crate::scheme::{SchemeSpec, SpecError};
 use crate::spec::cell_seed;
 use mocc_netsim::cc::CongestionControl;
 use mocc_netsim::metrics::{jain_index, time_to_fair_share, window_mbits};
@@ -84,6 +85,98 @@ impl ContenderMix {
         }
     }
 
+    /// Parses a canonical label back into a mix — the exact inverse of
+    /// [`ContenderMix::label`], used by spec files. Every contender
+    /// label inside the mix is grammar-checked through
+    /// [`SchemeSpec::parse`], so a malformed `mocc:` preference is a
+    /// typed [`SpecError`] here, not a mid-run panic. (Scheme labels
+    /// may not contain `+`, which separates duel contenders.)
+    pub fn parse(label: &str) -> Result<Self, SpecError> {
+        let bad = |reason: String| SpecError::InvalidSpec { reason };
+        if let Some(names) = label.strip_prefix("duel:") {
+            let schemes: Vec<String> = names.split('+').map(str::to_string).collect();
+            if schemes.len() < 2 {
+                return Err(bad(format!(
+                    "mix {label:?}: a duel needs at least two `+`-separated contenders"
+                )));
+            }
+            for s in &schemes {
+                SchemeSpec::parse(s)?;
+            }
+            return Ok(ContenderMix::Duel(schemes));
+        }
+        if let Some(spec) = label.strip_prefix("stair:") {
+            let (scheme, shape) = spec.rsplit_once(':').ok_or_else(|| {
+                bad(format!(
+                    "mix {label:?}: expected `stair:<scheme>:<n>x<phase_s>`"
+                ))
+            })?;
+            let (n, phase) = shape
+                .split_once('x')
+                .ok_or_else(|| bad(format!("mix {label:?}: bad staircase shape {shape:?}")))?;
+            let n: usize = n
+                .parse()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| bad(format!("mix {label:?}: bad flow count {n:?}")))?;
+            let phase_s: f64 = phase
+                .parse()
+                .ok()
+                .filter(|p: &f64| p.is_finite() && *p > 0.0)
+                .ok_or_else(|| bad(format!("mix {label:?}: bad phase {phase:?}")))?;
+            SchemeSpec::parse(scheme)?;
+            return Ok(ContenderMix::Staircase {
+                scheme: scheme.to_string(),
+                n,
+                phase_s,
+            });
+        }
+        Err(bad(format!(
+            "unknown mix {label:?}: expected `duel:<a>+<b>[+…]` or `stair:<scheme>:<n>x<phase_s>`"
+        )))
+    }
+
+    /// Typed lifecycle validation at a given horizon: every flow's
+    /// window must be non-empty and the full-overlap plateau must
+    /// contain at least one whole second (otherwise fairness would be
+    /// scored on the horizon fallback and solo phases would read as
+    /// unfairness). This is what [`CompetitionSpec::expand`] enforces;
+    /// spec-driven paths surface it as a [`SpecError`] at validation
+    /// time instead of a panic mid-run.
+    pub fn validate_windows(&self, duration_s: u64) -> Result<(), SpecError> {
+        let dur = duration_s as f64;
+        let lineup = self.lineup(duration_s);
+        for (flow, &(_, start, stop)) in lineup.iter().enumerate() {
+            let stop = stop.unwrap_or(dur);
+            if stop <= start {
+                return Err(SpecError::InvalidSpec {
+                    reason: format!(
+                        "mix {:?}: flow {flow} has an empty lifecycle window \
+                         [{start}, {stop}) at duration_s = {duration_s} — increase the \
+                         duration or reduce the staircase size/phase",
+                        self.label(),
+                    ),
+                });
+            }
+        }
+        let last_join = lineup.iter().fold(0.0f64, |m, &(_, s, _)| m.max(s));
+        let first_leave = lineup
+            .iter()
+            .fold(dur, |m, &(_, _, stop)| m.min(stop.unwrap_or(dur)));
+        if (first_leave.floor() as u64) <= (last_join.ceil() as u64) {
+            return Err(SpecError::InvalidSpec {
+                reason: format!(
+                    "mix {:?}: full-overlap window [{last_join}, {first_leave}) \
+                     contains no whole second at duration_s = {duration_s} — fairness \
+                     would be scored on the horizon fallback; increase the \
+                     duration or adjust the join/leave spacing",
+                    self.label(),
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// The flow lineup: `(scheme label, start_s, stop_s)` per flow,
     /// with `None` meaning "runs to the horizon".
     pub fn lineup(&self, duration_s: u64) -> Vec<(String, f64, Option<f64>)> {
@@ -96,6 +189,23 @@ impl ContenderMix {
                     (scheme.clone(), start, stop)
                 })
                 .collect(),
+        }
+    }
+}
+
+impl serde::Serialize for ContenderMix {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ContenderMix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => ContenderMix::parse(s).map_err(serde::Error::custom),
+            _ => Err(serde::Error::custom(format!(
+                "expected contender-mix label string, got {v:?}"
+            ))),
         }
     }
 }
@@ -158,6 +268,48 @@ impl CompetitionSpec {
         self.bandwidth_mbps.len() * self.owd_ms.len() * self.queue_pkts.len() * self.mixes.len()
     }
 
+    /// Validates every scheme label in the spec against `registry` —
+    /// all contender labels in all mixes, plus the `tcp_baseline`
+    /// (which must be registry-instantiable, never a `mocc` label:
+    /// the friendliness control is by definition a classic scheme).
+    /// This is the typed, pre-run replacement for the panics that used
+    /// to fire mid-run on unknown names.
+    pub fn validate_schemes(&self, registry: &crate::SchemeRegistry) -> Result<(), SpecError> {
+        let base = SchemeSpec::parse(&self.tcp_baseline)?;
+        if base.is_mocc() {
+            return Err(SpecError::InvalidSpec {
+                reason: format!(
+                    "tcp_baseline {:?} is a MOCC label; the friendliness control \
+                     must be a registry scheme (e.g. \"cubic\")",
+                    self.tcp_baseline
+                ),
+            });
+        }
+        registry.resolve(&base)?;
+        for mix in &self.mixes {
+            mix.validate_windows(self.duration_s)?;
+            for (label, _, _) in mix.lineup(self.duration_s) {
+                // `+` separates duel contenders, so a label containing
+                // one (e.g. a scientific-notation weight `mocc:1e+1,…`
+                // or a custom registry name) would serialize to a mix
+                // label that cannot be parsed back — reject it before
+                // it can poison a spec document.
+                if label.contains('+') {
+                    return Err(SpecError::InvalidSpec {
+                        reason: format!(
+                            "contender label {label:?} contains '+', the duel \
+                             separator — its mix label would not round-trip; \
+                             rename the scheme or rewrite the weights without \
+                             scientific notation"
+                        ),
+                    });
+                }
+                registry.resolve(&SchemeSpec::parse(&label)?)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Expands the matrix into its ordered list of cells.
     ///
     /// # Panics
@@ -176,36 +328,16 @@ impl CompetitionSpec {
                     for mix in &self.mixes {
                         let link =
                             LinkSpec::constant(bw * 1e6, SimDuration::from_millis(owd), queue, 0.0);
-                        let dur = self.duration_s as f64;
-                        let lineup = mix.lineup(self.duration_s);
-                        for (flow, &(_, start, stop)) in lineup.iter().enumerate() {
-                            let stop = stop.unwrap_or(dur);
-                            assert!(
-                                stop > start,
-                                "mix {:?}: flow {flow} has an empty lifecycle window \
-                                 [{start}, {stop}) at duration_s = {} — increase the \
-                                 duration or reduce the staircase size/phase",
-                                mix.label(),
-                                self.duration_s,
-                            );
-                        }
                         // The fairness metrics are scored on the
-                        // full-overlap plateau; a plateau without one
-                        // whole second would silently fall back to the
-                        // horizon and score solo phases as unfairness.
-                        let last_join = lineup.iter().fold(0.0f64, |m, &(_, s, _)| m.max(s));
-                        let first_leave = lineup
-                            .iter()
-                            .fold(dur, |m, &(_, _, stop)| m.min(stop.unwrap_or(dur)));
-                        assert!(
-                            (first_leave.floor() as u64) > (last_join.ceil() as u64),
-                            "mix {:?}: full-overlap window [{last_join}, {first_leave}) \
-                             contains no whole second at duration_s = {} — fairness \
-                             would be scored on the horizon fallback; increase the \
-                             duration or adjust the join/leave spacing",
-                            mix.label(),
-                            self.duration_s,
-                        );
+                        // full-overlap plateau; degenerate windows
+                        // would be scored as spurious unfairness, so a
+                        // mis-specified matrix aborts loudly here (the
+                        // spec-file path rejects it earlier, as a typed
+                        // error from `ExperimentSpec::validate`).
+                        if let Err(e) = mix.validate_windows(self.duration_s) {
+                            panic!("{e}");
+                        }
+                        let lineup = mix.lineup(self.duration_s);
                         let mut flows: Vec<FlowSpec> = lineup
                             .iter()
                             .map(|&(_, start, stop)| match stop {
@@ -368,7 +500,15 @@ impl ContenderFactory for BaselineContenders {
         label: &str,
     ) -> Box<dyn CongestionControl> {
         contender_by_name(label).unwrap_or_else(|| {
-            panic!("unknown contender {label:?}: not a mocc-cc baseline (mocc:* labels need a MOCC-aware evaluator)")
+            panic!(
+                "{} — mocc:* labels need a MOCC-aware evaluator; validate specs \
+                 (CompetitionSpec::validate_schemes / ExperimentSpec::validate) \
+                 before simulating",
+                SpecError::UnknownScheme {
+                    name: label.to_string(),
+                    known: mocc_cc::BASELINES.iter().map(|s| s.to_string()).collect(),
+                }
+            )
         })
     }
 }
@@ -390,8 +530,12 @@ pub trait CompetitionEvaluator: Sync {
 }
 
 /// Simulates one competition cell under `factory` and reduces it to a
-/// [`CellReport`] with the competition metrics filled in (this runs
-/// the all-TCP control simulation too).
+/// [`CellReport`] with the competition metrics filled in. The all-TCP
+/// friendliness control is built through the *same factory* (the
+/// `tcp_baseline` label per flow), so custom registries serve the
+/// control exactly like they serve contenders; when every contender
+/// already is the `tcp_baseline`, the finished run is its own control
+/// and the redundant second simulation is skipped.
 pub fn run_competition_cell(cell: &CompetitionCell, factory: &dyn ContenderFactory) -> CellReport {
     let ccs: Vec<Box<dyn CongestionControl>> = cell
         .labels
@@ -400,16 +544,40 @@ pub fn run_competition_cell(cell: &CompetitionCell, factory: &dyn ContenderFacto
         .map(|(flow, label)| factory.make(cell, flow, label))
         .collect();
     let res = Simulator::new(cell.scenario.clone(), ccs).run();
-    competition_report(cell, &res)
+    if cell.labels.iter().all(|l| *l == cell.tcp_baseline) {
+        return competition_report_with_baseline(cell, &res, &res);
+    }
+    let base_ccs: Vec<Box<dyn CongestionControl>> = (0..cell.labels.len())
+        .map(|flow| factory.make(cell, flow, &cell.tcp_baseline))
+        .collect();
+    let base = Simulator::new(cell.scenario.clone(), base_ccs).run();
+    competition_report_with_baseline(cell, &res, &base)
 }
 
 /// The all-TCP friendliness control: the same seeded scenario with
-/// every flow running the cell's `tcp_baseline` scheme.
+/// every flow running the cell's `tcp_baseline` scheme, resolved
+/// through the built-in baseline vocabulary.
+///
+/// # Panics
+///
+/// Panics if `tcp_baseline` is not a built-in baseline. Spec-driven
+/// paths reject that long before any simulation starts
+/// ([`CompetitionSpec::validate_schemes`] /
+/// `ExperimentSpec::validate`), so hitting this means a spec bypassed
+/// validation.
 pub fn baseline_result(cell: &CompetitionCell) -> SimResult {
     let ccs: Vec<Box<dyn CongestionControl>> = (0..cell.labels.len())
         .map(|_| {
-            contender_by_name(&cell.tcp_baseline)
-                .unwrap_or_else(|| panic!("unknown tcp_baseline {:?}", cell.tcp_baseline))
+            contender_by_name(&cell.tcp_baseline).unwrap_or_else(|| {
+                panic!(
+                    "{} — run CompetitionSpec::validate_schemes / ExperimentSpec::validate \
+                     before simulating",
+                    SpecError::UnknownScheme {
+                        name: cell.tcp_baseline.clone(),
+                        known: mocc_cc::BASELINES.iter().map(|s| s.to_string()).collect(),
+                    }
+                )
+            })
         })
         .collect();
     Simulator::new(cell.scenario.clone(), ccs).run()
@@ -447,10 +615,14 @@ pub fn competition_report_with_baseline(
             queue_pkts: cell.queue_pkts,
             loss_cfg: 0.0,
             shape: "constant".to_string(),
-            load: cell.mix.label(),
+            // `load` describes the flow population, like the classic
+            // sweep; the contender-mix identity rides the dedicated
+            // `mix` column instead of overloading this one.
+            load: format!("flows:{}", cell.labels.len()),
         },
         res,
     );
+    rep.mix = Some(cell.mix.label());
     let (lo, hi) = cell.overlap_window();
     let shares = window_mbits(&res.flows, lo, hi);
     rep.jain = round6(jain_index(&shares));
@@ -536,6 +708,36 @@ mod tests {
         );
     }
 
+    /// Mix labels parse back to their values — including staircase
+    /// schemes that themselves contain `:` (`mocc:bal`) — and junk is
+    /// a typed error, never a panic.
+    #[test]
+    fn mix_labels_parse_back_to_their_values() {
+        let mixes = [
+            ContenderMix::duel("cubic", "bbr"),
+            ContenderMix::duel("mocc:thr", "mocc:lat"),
+            ContenderMix::Duel(vec!["cubic".into(), "bbr".into(), "vegas".into()]),
+            ContenderMix::staircase("cubic", 3, 4.0),
+            ContenderMix::staircase("mocc:bal", 2, 1.5),
+        ];
+        for mix in &mixes {
+            assert_eq!(&ContenderMix::parse(&mix.label()).unwrap(), mix);
+        }
+        for bad in [
+            "",
+            "duel:",
+            "duel:cubic",
+            "stair:cubic",
+            "stair:cubic:3",
+            "stair:cubic:0x4",
+            "stair:cubic:3x-1",
+            "melee:cubic+bbr",
+            "duel:mocc:oops+cubic",
+        ] {
+            assert!(ContenderMix::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
     #[test]
     fn staircase_lineup_joins_and_leaves_symmetrically() {
         let mix = ContenderMix::staircase("cubic", 3, 4.0);
@@ -582,6 +784,45 @@ mod tests {
         // A duel's overlap is the whole horizon.
         let duel = &CompetitionSpec::quick().expand()[0];
         assert_eq!(duel.overlap_window(), (0, 20));
+    }
+
+    /// Scheme validation is typed and pre-run: unknown contenders,
+    /// unknown or MOCC `tcp_baseline`s, and degenerate lifecycle
+    /// windows all come back as `SpecError`s from `validate_schemes`
+    /// instead of panics mid-run.
+    #[test]
+    fn validate_schemes_catches_bad_specs_before_running() {
+        let reg = crate::SchemeRegistry::builtin();
+        let mut spec = CompetitionSpec::quick();
+        spec.mixes = vec![ContenderMix::duel("mocc:thr", "cubic")];
+        assert!(spec.validate_schemes(&reg).is_ok());
+
+        let mut bad = spec.clone();
+        bad.mixes = vec![ContenderMix::duel("reno", "cubic")];
+        assert!(matches!(
+            bad.validate_schemes(&reg),
+            Err(SpecError::UnknownScheme { .. })
+        ));
+
+        let mut bad = spec.clone();
+        bad.tcp_baseline = "reno".to_string();
+        assert!(matches!(
+            bad.validate_schemes(&reg),
+            Err(SpecError::UnknownScheme { .. })
+        ));
+
+        let mut bad = spec.clone();
+        bad.tcp_baseline = "mocc:thr".to_string();
+        assert!(matches!(
+            bad.validate_schemes(&reg),
+            Err(SpecError::InvalidSpec { .. })
+        ));
+
+        let mut bad = spec;
+        bad.mixes = vec![ContenderMix::staircase("cubic", 3, 4.0)];
+        bad.duration_s = 8;
+        let err = bad.validate_schemes(&reg).unwrap_err();
+        assert!(err.to_string().contains("empty lifecycle window"), "{err}");
     }
 
     #[test]

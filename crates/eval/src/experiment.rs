@@ -1,0 +1,876 @@
+//! The declarative experiment document: one spec type for every
+//! workload, canonical JSON on disk.
+//!
+//! An [`ExperimentSpec`] is the single, serializable description of an
+//! experiment: a name (which becomes the report's `controller` label),
+//! the shared scenario axes (bandwidth × one-way delay × queue), the
+//! global knobs (horizon, MSS, base seed, monitor-interval convention),
+//! a [`Workload`] — either a classic [`Workload::Sweep`] (one scheme
+//! over loss/shape/load axes) or a [`Workload::Competition`] (contender
+//! mixes with fairness analytics) — and, when any scheme is a learned
+//! `mocc` label, a [`PolicySpec`] describing how to obtain the policy.
+//!
+//! Specs round-trip losslessly through JSON (`parse → serialize →
+//! parse` is the identity), every label uses the shared grammar of
+//! [`crate::scheme`] / [`crate::TraceShape::label`] /
+//! [`crate::ContenderMix::label`], and [`ExperimentSpec::validate`]
+//! rejects malformed documents with a typed [`SpecError`] *before*
+//! anything is simulated. The expansion machinery is unchanged — a
+//! spec lowers onto today's [`SweepSpec`] / [`CompetitionSpec`]
+//! matrices, which is what keeps golden fixtures byte-identical across
+//! the API redesign.
+//!
+//! ```
+//! use mocc_eval::{ExperimentSpec, SweepRunner};
+//!
+//! let json = r#"{
+//!   "kind": "sweep", "name": "cubic-demo", "scheme": "cubic",
+//!   "bandwidth_mbps": [5.0, 10.0], "owd_ms": [20], "queue_pkts": [500],
+//!   "duration_s": 5, "seed": 7
+//! }"#;
+//! let spec = ExperimentSpec::from_json(json).unwrap();
+//! let report = SweepRunner::with_threads(2).run(&spec).unwrap();
+//! assert_eq!(report.controller, "cubic-demo");
+//! assert_eq!(report.cells.len(), 2);
+//! ```
+
+use crate::competition::{CompetitionSpec, ContenderMix};
+use crate::scheme::{SchemeRegistry, SchemeSpec, SpecError};
+use crate::spec::{FlowLoad, SweepSpec, TraceShape};
+use serde::{from_field, Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// The shared scenario axes every workload sweeps over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axes {
+    /// Peak bottleneck bandwidths, Mbps.
+    pub bandwidth_mbps: Vec<f64>,
+    /// One-way propagation delays, ms.
+    pub owd_ms: Vec<u64>,
+    /// Queue capacities, packets.
+    pub queue_pkts: Vec<usize>,
+}
+
+/// The sweep workload: one scheme over the classic six-axis matrix
+/// (the shared [`Axes`] plus loss, trace shape, and flow load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepWorkload {
+    /// The scheme under test (shared grammar; `mocc` labels need a
+    /// [`PolicySpec`]).
+    pub scheme: SchemeSpec,
+    /// iid random loss rates (default `[0.0]`).
+    pub loss: Vec<f64>,
+    /// Bottleneck trace shapes (default `["constant"]`).
+    pub shapes: Vec<TraceShape>,
+    /// Flow populations (default `["steady:1"]`).
+    pub loads: Vec<FlowLoad>,
+}
+
+/// The competition workload: contender mixes with fairness analytics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompetitionWorkload {
+    /// Contender mixes (innermost axis).
+    pub mixes: Vec<ContenderMix>,
+    /// Scheme of the all-TCP friendliness control run (registry
+    /// scheme, never `mocc`; default `"cubic"`).
+    pub tcp_baseline: SchemeSpec,
+    /// Jain threshold defining "fair share" (default 0.9).
+    pub fair_jain: f64,
+    /// Consecutive seconds the threshold must hold (default 3).
+    pub fair_sustain_s: u64,
+}
+
+/// What kind of experiment a spec describes (the `kind` tag of the
+/// JSON document).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// `"kind": "sweep"`.
+    Sweep(SweepWorkload),
+    /// `"kind": "competition"`.
+    Competition(CompetitionWorkload),
+}
+
+/// How to obtain the MOCC policy serving the spec's `mocc` labels.
+/// Declarative data only — `mocc-core`'s experiment runner interprets
+/// it; this crate just validates and round-trips it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpec {
+    /// Path to a saved agent JSON (e.g. `target/mocc-cache/
+    /// mocc-agent.json`). When set, `seed`/`config` are ignored.
+    pub path: Option<String>,
+    /// Seed for a freshly initialized (untrained) agent — fully
+    /// reproducible across machines via the vendored RNG (default 11).
+    pub seed: u64,
+    /// Agent configuration preset: `"fast"` or `"default"` (default
+    /// `"fast"`).
+    pub config: String,
+    /// Default preference for bare `mocc` labels (default `bal`).
+    pub preference: crate::MoccPrefSpec,
+    /// Flow 0 starts at this fraction of the cell's peak bandwidth
+    /// (default 0.3).
+    pub initial_rate_frac: f64,
+    /// Cells per batched-inference chunk (default 32).
+    pub batch: usize,
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        PolicySpec {
+            path: None,
+            seed: 11,
+            config: "fast".to_string(),
+            preference: crate::MoccPrefSpec::Balanced,
+            initial_rate_frac: 0.3,
+            batch: 32,
+        }
+    }
+}
+
+/// One declarative experiment: everything a runner needs, in one
+/// JSON-serializable document. See the module docs for the format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name; becomes the report's `controller` label.
+    pub name: String,
+    /// Shared scenario axes.
+    pub axes: Axes,
+    /// Per-cell simulation horizon, seconds.
+    pub duration_s: u64,
+    /// Maximum segment size, bytes (default 1500).
+    pub mss_bytes: u32,
+    /// Base seed; cells derive theirs via [`crate::cell_seed`].
+    pub seed: u64,
+    /// Apply the learning agents' fixed monitor-interval convention to
+    /// every flow (default true).
+    pub agent_mi: bool,
+    /// What to run.
+    pub workload: Workload,
+    /// Policy source for `mocc` labels (required iff any are present).
+    pub policy: Option<PolicySpec>,
+}
+
+impl ExperimentSpec {
+    /// A sweep experiment over `spec`'s matrix under `scheme`,
+    /// labelled `name` — the bridge from the expansion-level
+    /// [`SweepSpec`] to the declarative document.
+    pub fn from_sweep(name: &str, scheme: SchemeSpec, spec: &SweepSpec) -> Self {
+        ExperimentSpec {
+            name: name.to_string(),
+            axes: Axes {
+                bandwidth_mbps: spec.bandwidth_mbps.clone(),
+                owd_ms: spec.owd_ms.clone(),
+                queue_pkts: spec.queue_pkts.clone(),
+            },
+            duration_s: spec.duration_s,
+            mss_bytes: spec.mss_bytes,
+            seed: spec.seed,
+            agent_mi: spec.agent_mi,
+            workload: Workload::Sweep(SweepWorkload {
+                scheme,
+                loss: spec.loss.clone(),
+                shapes: spec.shapes.clone(),
+                loads: spec.loads.clone(),
+            }),
+            policy: None,
+        }
+    }
+
+    /// A competition experiment over `spec`'s matrix, labelled `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.tcp_baseline` does not parse under the shared
+    /// grammar (construct specs from validated parts).
+    pub fn from_competition(name: &str, spec: &CompetitionSpec) -> Self {
+        ExperimentSpec {
+            name: name.to_string(),
+            axes: Axes {
+                bandwidth_mbps: spec.bandwidth_mbps.clone(),
+                owd_ms: spec.owd_ms.clone(),
+                queue_pkts: spec.queue_pkts.clone(),
+            },
+            duration_s: spec.duration_s,
+            mss_bytes: spec.mss_bytes,
+            seed: spec.seed,
+            agent_mi: spec.agent_mi,
+            workload: Workload::Competition(CompetitionWorkload {
+                mixes: spec.mixes.clone(),
+                tcp_baseline: SchemeSpec::parse(&spec.tcp_baseline)
+                    .expect("tcp_baseline parses under the shared grammar"),
+                fair_jain: spec.fair_jain,
+                fair_sustain_s: spec.fair_sustain_s,
+            }),
+            policy: None,
+        }
+    }
+
+    /// Lowers a sweep experiment onto the expansion-level
+    /// [`SweepSpec`]; `None` for competition experiments.
+    pub fn to_sweep_spec(&self) -> Option<SweepSpec> {
+        let Workload::Sweep(w) = &self.workload else {
+            return None;
+        };
+        Some(SweepSpec {
+            bandwidth_mbps: self.axes.bandwidth_mbps.clone(),
+            owd_ms: self.axes.owd_ms.clone(),
+            queue_pkts: self.axes.queue_pkts.clone(),
+            loss: w.loss.clone(),
+            shapes: w.shapes.clone(),
+            loads: w.loads.clone(),
+            duration_s: self.duration_s,
+            mss_bytes: self.mss_bytes,
+            seed: self.seed,
+            agent_mi: self.agent_mi,
+        })
+    }
+
+    /// Lowers a competition experiment onto the expansion-level
+    /// [`CompetitionSpec`]; `None` for sweep experiments.
+    pub fn to_competition_spec(&self) -> Option<CompetitionSpec> {
+        let Workload::Competition(w) = &self.workload else {
+            return None;
+        };
+        Some(CompetitionSpec {
+            mixes: w.mixes.clone(),
+            bandwidth_mbps: self.axes.bandwidth_mbps.clone(),
+            owd_ms: self.axes.owd_ms.clone(),
+            queue_pkts: self.axes.queue_pkts.clone(),
+            duration_s: self.duration_s,
+            mss_bytes: self.mss_bytes,
+            seed: self.seed,
+            agent_mi: self.agent_mi,
+            tcp_baseline: w.tcp_baseline.label().to_string(),
+            fair_jain: w.fair_jain,
+            fair_sustain_s: w.fair_sustain_s,
+        })
+    }
+
+    /// Every scheme label the experiment references, in document
+    /// order: the sweep scheme, or every contender plus the
+    /// `tcp_baseline`.
+    pub fn scheme_labels(&self) -> Vec<String> {
+        match &self.workload {
+            Workload::Sweep(w) => vec![w.scheme.label().to_string()],
+            Workload::Competition(w) => {
+                let mut out: Vec<String> = w
+                    .mixes
+                    .iter()
+                    .flat_map(|m| m.lineup(self.duration_s))
+                    .map(|(label, _, _)| label)
+                    .collect();
+                out.push(w.tcp_baseline.label().to_string());
+                out
+            }
+        }
+    }
+
+    /// True when any referenced scheme is a `mocc` label (and the
+    /// experiment therefore needs a policy engine). Labels are
+    /// classified through the shared grammar ([`SchemeSpec::is_mocc`]),
+    /// not ad-hoc string matching; labels that do not parse are left
+    /// for [`ExperimentSpec::validate`] to report.
+    pub fn needs_policy(&self) -> bool {
+        match &self.workload {
+            Workload::Sweep(w) => w.scheme.is_mocc(),
+            Workload::Competition(w) => w.mixes.iter().any(|m| {
+                m.lineup(self.duration_s)
+                    .iter()
+                    .any(|(label, _, _)| SchemeSpec::parse(label).is_ok_and(|s| s.is_mocc()))
+            }),
+        }
+    }
+
+    /// Number of cells the experiment expands to.
+    pub fn cell_count(&self) -> usize {
+        let shared =
+            self.axes.bandwidth_mbps.len() * self.axes.owd_ms.len() * self.axes.queue_pkts.len();
+        match &self.workload {
+            Workload::Sweep(w) => shared * w.loss.len() * w.shapes.len() * w.loads.len(),
+            Workload::Competition(w) => shared * w.mixes.len(),
+        }
+    }
+
+    /// Validates the document against the built-in registry.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.validate_in(&SchemeRegistry::builtin())
+    }
+
+    /// Validates the document against `registry`: non-empty axes, sane
+    /// global knobs, every scheme label resolvable, lifecycle windows
+    /// non-degenerate, and a policy section present whenever a `mocc`
+    /// label is. Everything that used to panic mid-run surfaces here
+    /// as a typed [`SpecError`].
+    pub fn validate_in(&self, registry: &SchemeRegistry) -> Result<(), SpecError> {
+        let invalid = |reason: String| Err(SpecError::InvalidSpec { reason });
+        if self.name.is_empty() {
+            return invalid("experiment name must be nonempty".to_string());
+        }
+        if self.duration_s == 0 {
+            return invalid("duration_s must be >= 1".to_string());
+        }
+        if self.mss_bytes == 0 {
+            return invalid("mss_bytes must be >= 1".to_string());
+        }
+        for (axis, empty) in [
+            ("bandwidth_mbps", self.axes.bandwidth_mbps.is_empty()),
+            ("owd_ms", self.axes.owd_ms.is_empty()),
+            ("queue_pkts", self.axes.queue_pkts.is_empty()),
+        ] {
+            if empty {
+                return invalid(format!("axis {axis} must be nonempty"));
+            }
+        }
+        if let Some(bad) = self
+            .axes
+            .bandwidth_mbps
+            .iter()
+            .find(|b| !b.is_finite() || **b <= 0.0)
+        {
+            return invalid(format!("bandwidth_mbps value {bad} must be finite and > 0"));
+        }
+        if self.axes.queue_pkts.contains(&0) {
+            return invalid("queue_pkts values must be >= 1".to_string());
+        }
+        match &self.workload {
+            Workload::Sweep(w) => {
+                for (axis, empty) in [
+                    ("loss", w.loss.is_empty()),
+                    ("shapes", w.shapes.is_empty()),
+                    ("loads", w.loads.is_empty()),
+                ] {
+                    if empty {
+                        return invalid(format!("axis {axis} must be nonempty"));
+                    }
+                }
+                if let Some(bad) = w
+                    .loss
+                    .iter()
+                    .find(|l| !l.is_finite() || **l < 0.0 || **l >= 1.0)
+                {
+                    return invalid(format!("loss value {bad} must be in [0, 1)"));
+                }
+                registry.resolve(&w.scheme)?;
+            }
+            Workload::Competition(w) => {
+                if w.mixes.is_empty() {
+                    return invalid("a competition needs at least one mix".to_string());
+                }
+                if !(0.0..=1.0).contains(&w.fair_jain) {
+                    return invalid(format!("fair_jain {} must be in [0, 1]", w.fair_jain));
+                }
+                let spec = self
+                    .to_competition_spec()
+                    .expect("competition workload lowers");
+                spec.validate_schemes(registry)?;
+            }
+        }
+        if self.needs_policy() {
+            let Some(policy) = &self.policy else {
+                return invalid(
+                    "the experiment uses `mocc` schemes but has no `policy` section".to_string(),
+                );
+            };
+            if policy.path.is_none() && !matches!(policy.config.as_str(), "fast" | "default") {
+                return invalid(format!(
+                    "policy.config {:?} must be \"fast\" or \"default\"",
+                    policy.config
+                ));
+            }
+            if !policy.initial_rate_frac.is_finite()
+                || policy.initial_rate_frac <= 0.0
+                || policy.initial_rate_frac > 1.0
+            {
+                return invalid(format!(
+                    "policy.initial_rate_frac {} must be in (0, 1]",
+                    policy.initial_rate_frac
+                ));
+            }
+            if policy.batch == 0 {
+                return invalid("policy.batch must be >= 1".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to canonical JSON (sorted keys, every field
+    /// explicit — defaults included — so documents on disk are
+    /// self-describing).
+    pub fn to_canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serialization is infallible")
+    }
+
+    /// Parses a spec document from JSON text. Grammar-level errors
+    /// (malformed labels, wrong types, missing fields) come back as
+    /// [`SpecError::Json`]; run [`ExperimentSpec::validate`] afterwards
+    /// for vocabulary/structure checks.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Json {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Loads and parses a spec file from disk.
+    pub fn load(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SpecError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+// ---- serde (hand-written: the vendored derive handles neither tagged
+// enums nor defaulted fields) ------------------------------------------
+
+impl Serialize for PolicySpec {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("path".to_string(), self.path.to_value());
+        obj.insert("seed".to_string(), self.seed.to_value());
+        obj.insert("config".to_string(), self.config.to_value());
+        obj.insert(
+            "preference".to_string(),
+            Value::Str(pref_label(&self.preference)),
+        );
+        obj.insert(
+            "initial_rate_frac".to_string(),
+            self.initial_rate_frac.to_value(),
+        );
+        obj.insert("batch".to_string(), self.batch.to_value());
+        Value::Obj(obj)
+    }
+}
+
+/// The canonical text form of a preference spec (the `<pref>` part of
+/// a `mocc:<pref>` label).
+fn pref_label(pref: &crate::MoccPrefSpec) -> String {
+    use crate::MoccPrefSpec;
+    match pref {
+        MoccPrefSpec::Throughput => "thr".to_string(),
+        MoccPrefSpec::Latency => "lat".to_string(),
+        MoccPrefSpec::Balanced => "bal".to_string(),
+        MoccPrefSpec::Weights([t, l, s]) => format!("{t},{l},{s}"),
+    }
+}
+
+impl<'de> Deserialize<'de> for PolicySpec {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let Value::Obj(obj) = v else {
+            return Err(SerdeError::custom(format!(
+                "expected policy object, got {v:?}"
+            )));
+        };
+        reject_unknown_keys(
+            obj,
+            &[
+                "path",
+                "seed",
+                "config",
+                "preference",
+                "initial_rate_frac",
+                "batch",
+            ],
+            "PolicySpec",
+        )?;
+        let d = PolicySpec::default();
+        let preference = match obj.get("preference") {
+            None => d.preference,
+            Some(Value::Str(s)) => crate::MoccPrefSpec::parse(s)
+                .map_err(|reason| SerdeError::custom(format!("policy.preference: {reason}")))?,
+            Some(other) => {
+                return Err(SerdeError::custom(format!(
+                    "policy.preference: expected preference label string, got {other:?}"
+                )))
+            }
+        };
+        Ok(PolicySpec {
+            path: from_field(obj, "path", "PolicySpec")?,
+            seed: opt_field(obj, "seed", "PolicySpec")?.unwrap_or(d.seed),
+            config: opt_field(obj, "config", "PolicySpec")?.unwrap_or(d.config),
+            preference,
+            initial_rate_frac: opt_field(obj, "initial_rate_frac", "PolicySpec")?
+                .unwrap_or(d.initial_rate_frac),
+            batch: opt_field(obj, "batch", "PolicySpec")?.unwrap_or(d.batch),
+        })
+    }
+}
+
+/// A field that may be absent (defaulted by the caller). Unlike
+/// `Option` fields, a *present* `null` is still an error.
+fn opt_field<T: for<'a> Deserialize<'a>>(
+    obj: &BTreeMap<String, Value>,
+    key: &str,
+    type_name: &str,
+) -> Result<Option<T>, SerdeError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| SerdeError::custom(format!("{type_name}.{key}: {e}"))),
+    }
+}
+
+/// Rejects keys outside `known`: a misspelled optional field
+/// (`"fair_sustain"` for `"fair_sustain_s"`) must be an error, not a
+/// silently applied default — otherwise `validate` would approve a
+/// document that runs a different experiment than its author wrote.
+fn reject_unknown_keys(
+    obj: &BTreeMap<String, Value>,
+    known: &[&str],
+    type_name: &str,
+) -> Result<(), SerdeError> {
+    for key in obj.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(SerdeError::custom(format!(
+                "{type_name}: unknown field `{key}` (known fields: {})",
+                known.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl Serialize for ExperimentSpec {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        let mut put = |k: &str, v: Value| {
+            obj.insert(k.to_string(), v);
+        };
+        put("name", self.name.to_value());
+        put("bandwidth_mbps", self.axes.bandwidth_mbps.to_value());
+        put("owd_ms", self.axes.owd_ms.to_value());
+        put("queue_pkts", self.axes.queue_pkts.to_value());
+        put("duration_s", self.duration_s.to_value());
+        put("mss_bytes", self.mss_bytes.to_value());
+        put("seed", self.seed.to_value());
+        put("agent_mi", self.agent_mi.to_value());
+        put("policy", self.policy.to_value());
+        match &self.workload {
+            Workload::Sweep(w) => {
+                put("kind", Value::Str("sweep".to_string()));
+                put("scheme", w.scheme.to_value());
+                put("loss", w.loss.to_value());
+                put("shapes", w.shapes.to_value());
+                put("loads", w.loads.to_value());
+            }
+            Workload::Competition(w) => {
+                put("kind", Value::Str("competition".to_string()));
+                put("mixes", w.mixes.to_value());
+                put("tcp_baseline", w.tcp_baseline.to_value());
+                put("fair_jain", w.fair_jain.to_value());
+                put("fair_sustain_s", w.fair_sustain_s.to_value());
+            }
+        }
+        Value::Obj(obj)
+    }
+}
+
+impl<'de> Deserialize<'de> for ExperimentSpec {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let Value::Obj(obj) = v else {
+            return Err(SerdeError::custom(format!(
+                "expected experiment object, got {v:?}"
+            )));
+        };
+        const SHARED_KEYS: &[&str] = &[
+            "kind",
+            "name",
+            "bandwidth_mbps",
+            "owd_ms",
+            "queue_pkts",
+            "duration_s",
+            "mss_bytes",
+            "seed",
+            "agent_mi",
+            "policy",
+        ];
+        let kind: String = from_field(obj, "kind", "ExperimentSpec")?;
+        let keys: Vec<&str> = match kind.as_str() {
+            "sweep" => SHARED_KEYS
+                .iter()
+                .chain(&["scheme", "loss", "shapes", "loads"])
+                .copied()
+                .collect(),
+            _ => SHARED_KEYS
+                .iter()
+                .chain(&["mixes", "tcp_baseline", "fair_jain", "fair_sustain_s"])
+                .copied()
+                .collect(),
+        };
+        reject_unknown_keys(obj, &keys, "ExperimentSpec")?;
+        let workload = match kind.as_str() {
+            "sweep" => Workload::Sweep(SweepWorkload {
+                scheme: from_field(obj, "scheme", "ExperimentSpec")?,
+                loss: opt_field(obj, "loss", "ExperimentSpec")?.unwrap_or_else(|| vec![0.0]),
+                shapes: opt_field(obj, "shapes", "ExperimentSpec")?
+                    .unwrap_or_else(|| vec![TraceShape::Constant]),
+                loads: opt_field(obj, "loads", "ExperimentSpec")?
+                    .unwrap_or_else(|| vec![FlowLoad::Steady(1)]),
+            }),
+            "competition" => Workload::Competition(CompetitionWorkload {
+                mixes: from_field(obj, "mixes", "ExperimentSpec")?,
+                tcp_baseline: opt_field(obj, "tcp_baseline", "ExperimentSpec")?.unwrap_or_else(
+                    || SchemeSpec::parse("cubic").expect("default tcp_baseline parses"),
+                ),
+                fair_jain: opt_field(obj, "fair_jain", "ExperimentSpec")?.unwrap_or(0.9),
+                fair_sustain_s: opt_field(obj, "fair_sustain_s", "ExperimentSpec")?.unwrap_or(3),
+            }),
+            other => {
+                return Err(SerdeError::custom(format!(
+                    "ExperimentSpec.kind: expected \"sweep\" or \"competition\", got {other:?}"
+                )))
+            }
+        };
+        Ok(ExperimentSpec {
+            name: from_field(obj, "name", "ExperimentSpec")?,
+            axes: Axes {
+                bandwidth_mbps: from_field(obj, "bandwidth_mbps", "ExperimentSpec")?,
+                owd_ms: from_field(obj, "owd_ms", "ExperimentSpec")?,
+                queue_pkts: from_field(obj, "queue_pkts", "ExperimentSpec")?,
+            },
+            duration_s: from_field(obj, "duration_s", "ExperimentSpec")?,
+            mss_bytes: opt_field(obj, "mss_bytes", "ExperimentSpec")?.unwrap_or(1500),
+            seed: from_field(obj, "seed", "ExperimentSpec")?,
+            agent_mi: opt_field(obj, "agent_mi", "ExperimentSpec")?.unwrap_or(true),
+            workload,
+            policy: from_field(obj, "policy", "ExperimentSpec")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MoccPrefSpec;
+
+    fn sweep_exp() -> ExperimentSpec {
+        let mut spec = SweepSpec::table3_testing();
+        spec.duration_s = 8;
+        ExperimentSpec::from_sweep("cubic-t3", SchemeSpec::parse("cubic").unwrap(), &spec)
+    }
+
+    fn competition_exp() -> ExperimentSpec {
+        let spec = CompetitionSpec {
+            mixes: vec![
+                ContenderMix::duel("mocc:thr", "mocc:lat"),
+                ContenderMix::staircase("cubic", 3, 4.0),
+            ],
+            duration_s: 24,
+            ..CompetitionSpec::quick()
+        };
+        let mut exp = ExperimentSpec::from_competition("mix-demo", &spec);
+        exp.policy = Some(PolicySpec::default());
+        exp
+    }
+
+    #[test]
+    fn round_trips_are_identity() {
+        for exp in [sweep_exp(), competition_exp()] {
+            let json = exp.to_canonical_json();
+            let back = ExperimentSpec::from_json(&json).unwrap();
+            assert_eq!(back, exp);
+            assert_eq!(back.to_canonical_json(), json, "canonical is a fixed point");
+        }
+    }
+
+    #[test]
+    fn lowering_matches_the_original_matrices() {
+        let mut spec = SweepSpec::table3_testing();
+        spec.duration_s = 8;
+        let exp = ExperimentSpec::from_sweep("x", SchemeSpec::parse("bbr").unwrap(), &spec);
+        let lowered = exp.to_sweep_spec().unwrap();
+        assert_eq!(lowered.cell_count(), spec.cell_count());
+        assert_eq!(exp.cell_count(), spec.cell_count());
+        let a = spec.expand();
+        let b = lowered.expand();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.scenario.seed, y.scenario.seed);
+        }
+        assert!(exp.to_competition_spec().is_none());
+
+        let comp = CompetitionSpec::quick();
+        let exp = ExperimentSpec::from_competition("y", &comp);
+        let lowered = exp.to_competition_spec().unwrap();
+        assert_eq!(lowered.cell_count(), comp.cell_count());
+        assert_eq!(
+            lowered.expand()[0].scenario.seed,
+            comp.expand()[0].scenario.seed
+        );
+        assert!(exp.to_sweep_spec().is_none());
+    }
+
+    #[test]
+    fn defaults_fill_in_on_parse_and_serialize_explicitly() {
+        let json = r#"{"kind":"sweep","name":"mini","scheme":"vegas",
+            "bandwidth_mbps":[10.0],"owd_ms":[20],"queue_pkts":[500],
+            "duration_s":5,"seed":7}"#;
+        let exp = ExperimentSpec::from_json(json).unwrap();
+        assert_eq!(exp.mss_bytes, 1500);
+        assert!(exp.agent_mi);
+        let Workload::Sweep(w) = &exp.workload else {
+            panic!()
+        };
+        assert_eq!(w.loss, vec![0.0]);
+        assert_eq!(w.shapes, vec![TraceShape::Constant]);
+        assert_eq!(w.loads, vec![FlowLoad::Steady(1)]);
+        // The canonical form spells every default out and still
+        // round-trips to the same value.
+        let canon = exp.to_canonical_json();
+        assert!(canon.contains("\"mss_bytes\":1500"), "{canon}");
+        assert_eq!(ExperimentSpec::from_json(&canon).unwrap(), exp);
+        assert!(exp.validate().is_ok());
+    }
+
+    #[test]
+    fn policy_defaults_and_preference_labels() {
+        let json = r#"{"kind":"competition","name":"p","mixes":["duel:mocc+cubic"],
+            "bandwidth_mbps":[10.0],"owd_ms":[20],"queue_pkts":[120],
+            "duration_s":10,"seed":7,"policy":{}}"#;
+        let exp = ExperimentSpec::from_json(json).unwrap();
+        let p = exp.policy.as_ref().unwrap();
+        assert_eq!(p, &PolicySpec::default());
+        assert!(exp.validate().is_ok());
+        assert!(exp.needs_policy());
+
+        let mut exp2 = exp.clone();
+        exp2.policy.as_mut().unwrap().preference = MoccPrefSpec::Weights([0.5, 0.25, 0.25]);
+        let back = ExperimentSpec::from_json(&exp2.to_canonical_json()).unwrap();
+        assert_eq!(back, exp2);
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        type Mutation = Box<dyn Fn(&mut ExperimentSpec)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("empty name", Box::new(|e| e.name.clear())),
+            ("zero duration", Box::new(|e| e.duration_s = 0)),
+            ("empty axis", Box::new(|e| e.axes.owd_ms.clear())),
+            (
+                "bad bandwidth",
+                Box::new(|e| e.axes.bandwidth_mbps = vec![-1.0]),
+            ),
+            ("zero queue", Box::new(|e| e.axes.queue_pkts = vec![0])),
+            (
+                "bad loss",
+                Box::new(|e| {
+                    if let Workload::Sweep(w) = &mut e.workload {
+                        w.loss = vec![1.5]
+                    }
+                }),
+            ),
+        ];
+        for (what, mutate) in cases {
+            let mut exp = sweep_exp();
+            mutate(&mut exp);
+            assert!(
+                matches!(exp.validate(), Err(SpecError::InvalidSpec { .. })),
+                "{what} must be rejected"
+            );
+        }
+
+        // Unknown schemes are vocabulary errors.
+        let mut exp = sweep_exp();
+        if let Workload::Sweep(w) = &mut exp.workload {
+            w.scheme = SchemeSpec::parse("reno").unwrap();
+        }
+        assert!(matches!(
+            exp.validate(),
+            Err(SpecError::UnknownScheme { .. })
+        ));
+
+        // mocc schemes demand a policy section.
+        let mut exp = competition_exp();
+        exp.policy = None;
+        let err = exp.validate().unwrap_err();
+        assert!(err.to_string().contains("policy"), "{err}");
+
+        // ... with sane fields.
+        let mut exp = competition_exp();
+        exp.policy.as_mut().unwrap().initial_rate_frac = 0.0;
+        assert!(exp.validate().is_err());
+        let mut exp = competition_exp();
+        exp.policy.as_mut().unwrap().config = "huge".to_string();
+        assert!(exp.validate().is_err());
+        let mut exp = competition_exp();
+        exp.policy.as_mut().unwrap().batch = 0;
+        assert!(exp.validate().is_err());
+    }
+
+    /// A misspelled field name must be an error, not a silently
+    /// applied default — otherwise validation would approve a document
+    /// that runs a different experiment than its author wrote.
+    #[test]
+    fn unknown_fields_are_rejected() {
+        for (bad, what) in [
+            (
+                r#"{"kind":"competition","name":"x","mixes":["duel:cubic+bbr"],
+                    "bandwidth_mbps":[10.0],"owd_ms":[20],"queue_pkts":[120],
+                    "duration_s":20,"seed":7,"fair_sustain":7}"#,
+                "fair_sustain (typo of fair_sustain_s)",
+            ),
+            (
+                r#"{"kind":"sweep","name":"x","scheme":"cubic",
+                    "bandwidth_mbps":[10.0],"owd_ms":[20],"queue_pkts":[120],
+                    "duration_s":20,"seed":7,"agent-mi":false}"#,
+                "agent-mi (typo of agent_mi)",
+            ),
+            (
+                r#"{"kind":"sweep","name":"x","scheme":"cubic",
+                    "bandwidth_mbps":[10.0],"owd_ms":[20],"queue_pkts":[120],
+                    "duration_s":20,"seed":7,"mixes":["duel:cubic+bbr"]}"#,
+                "competition field on a sweep",
+            ),
+            (
+                r#"{"kind":"competition","name":"x","mixes":["duel:mocc+cubic"],
+                    "bandwidth_mbps":[10.0],"owd_ms":[20],"queue_pkts":[120],
+                    "duration_s":20,"seed":7,"policy":{"bacth":4}}"#,
+                "bacth (typo of policy.batch)",
+            ),
+        ] {
+            let err = ExperimentSpec::from_json(bad).unwrap_err();
+            assert!(err.to_string().contains("unknown field"), "{what}: {err}");
+        }
+    }
+
+    /// `+` is the duel separator: a contender label containing one
+    /// would serialize to a mix label that cannot round-trip, so
+    /// validation rejects it up front.
+    #[test]
+    fn plus_in_contender_labels_is_rejected() {
+        let spec = CompetitionSpec {
+            // 1e+1 parses as a valid f64 weight, but the label would
+            // be ambiguous inside "duel:...+...".
+            mixes: vec![ContenderMix::Duel(vec![
+                "mocc:1e+1,1,1".to_string(),
+                "cubic".to_string(),
+            ])],
+            ..CompetitionSpec::quick()
+        };
+        let mut exp = ExperimentSpec::from_competition("x", &spec);
+        exp.policy = Some(PolicySpec::default());
+        let err = exp.validate().unwrap_err();
+        assert!(err.to_string().contains("'+'"), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            r#"{"kind":"melee","name":"x"}"#,
+            r#"{"kind":"sweep","name":"x"}"#,
+            r#"{"kind":"sweep","name":"x","scheme":"mocc:oops",
+                "bandwidth_mbps":[1.0],"owd_ms":[10],"queue_pkts":[10],
+                "duration_s":5,"seed":1}"#,
+            r#"{"kind":"competition","name":"x","mixes":["brawl:a+b"],
+                "bandwidth_mbps":[1.0],"owd_ms":[10],"queue_pkts":[10],
+                "duration_s":5,"seed":1}"#,
+        ] {
+            match ExperimentSpec::from_json(bad) {
+                Err(SpecError::Json { .. }) => {}
+                other => panic!("{bad:?}: expected Json error, got {other:?}"),
+            }
+        }
+    }
+}

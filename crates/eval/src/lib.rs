@@ -22,7 +22,15 @@
 //!   leaves) reduced to fairness analytics — overlap-window Jain
 //!   index, friendliness against an all-TCP control run, and time to
 //!   fair share — emitted through the same canonical report (see
-//!   [`competition`]).
+//!   [`competition`]);
+//! - [`scheme`] unifies how schemes are named: one label grammar
+//!   ([`SchemeSpec`]) and one pluggable [`SchemeRegistry`] behind a
+//!   typed [`SpecError`] (no panics on bad input);
+//! - [`experiment`] makes whole experiments declarative:
+//!   [`ExperimentSpec`] is a canonical-JSON document over either
+//!   workload, validated up front and executed by the single
+//!   [`SweepRunner::run`] entry point (the `mocc` CLI in `mocc-bench`
+//!   runs spec files end-to-end; see `docs/SPECS.md`).
 //!
 //! [`Scenario`]: mocc_netsim::Scenario
 //! [`CongestionControl`]: mocc_netsim::cc::CongestionControl
@@ -30,24 +38,38 @@
 //!
 //! ## Example
 //!
+//! Experiments are declarative [`ExperimentSpec`] documents — built in
+//! code or loaded from canonical JSON files — validated against the
+//! [`SchemeRegistry`] and executed by one entry point,
+//! [`SweepRunner::run`]:
+//!
 //! ```
-//! use mocc_eval::{SweepRunner, SweepSpec};
+//! use mocc_eval::{ExperimentSpec, SchemeSpec, SweepRunner, SweepSpec};
 //!
 //! // CUBIC over a 2-cell bandwidth sweep, on every core.
-//! let mut spec = SweepSpec::single_cell();
-//! spec.bandwidth_mbps = vec![5.0, 10.0];
-//! spec.duration_s = 5;
-//! let report = SweepRunner::auto().run_baseline(&spec, "cubic");
+//! let mut matrix = SweepSpec::single_cell();
+//! matrix.bandwidth_mbps = vec![5.0, 10.0];
+//! matrix.duration_s = 5;
+//! let scheme = SchemeSpec::parse("cubic").unwrap();
+//! let exp = ExperimentSpec::from_sweep("cubic", scheme, &matrix);
+//! let report = SweepRunner::auto().run(&exp).unwrap();
 //! assert_eq!(report.cells.len(), 2);
 //! assert!(report.summary.mean_utilization > 0.5);
-//! // Canonical JSON: byte-identical for any worker count.
-//! let a = SweepRunner::with_threads(1).run_baseline(&spec, "cubic");
+//! // Canonical JSON: byte-identical for any worker count, and the
+//! // spec itself round-trips through its on-disk JSON form.
+//! let a = SweepRunner::with_threads(1).run(&exp).unwrap();
 //! assert_eq!(a.to_canonical_json(), report.to_canonical_json());
+//! assert_eq!(
+//!     ExperimentSpec::from_json(&exp.to_canonical_json()).unwrap(),
+//!     exp
+//! );
 //! ```
 
 pub mod competition;
+pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod scheme;
 pub mod spec;
 
 pub use competition::{
@@ -55,8 +77,12 @@ pub use competition::{
     run_competition_cell, BaselineContenders, CompetitionCell, CompetitionEvaluator,
     CompetitionSpec, ContenderFactory, ContenderMix,
 };
+pub use experiment::{
+    Axes, CompetitionWorkload, ExperimentSpec, PolicySpec, SweepWorkload, Workload,
+};
 pub use report::{fmt_opt_metric, round6, CellCoords, CellReport, SweepReport, SweepSummary};
 pub use runner::{
     parse_threads, run_cell, BaselineFactory, CellEvaluator, CellFactory, SweepRunner, THREADS_ENV,
 };
+pub use scheme::{MoccPrefSpec, SchemeCtx, SchemeKind, SchemeRegistry, SchemeSpec, SpecError};
 pub use spec::{cell_seed, FlowLoad, SweepCell, SweepSpec, TraceShape};

@@ -41,7 +41,14 @@ pub fn round6(x: f64) -> f64 {
 }
 
 /// Summary metrics of one simulated sweep cell.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+///
+/// Serialization is hand-written (not derived) for one reason: the
+/// competition-only `mix` column is *omitted* when `None`, so the
+/// schema change that introduced it stayed additive — classic sweep
+/// fixtures are byte-identical with and without it. (`friendliness` /
+/// `convergence_s` predate that policy and keep serializing as
+/// explicit `null`s; goldens depend on it.)
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// Cell index in spec expansion order.
     pub index: u64,
@@ -58,8 +65,14 @@ pub struct CellReport {
     pub loss_cfg: f64,
     /// Trace-shape label (see [`crate::TraceShape::label`]).
     pub shape: String,
-    /// Flow-load label (see [`crate::FlowLoad::label`]).
+    /// Flow-load label: [`crate::FlowLoad::label`] for classic sweep
+    /// cells, `flows:<n>` (the contender count) for competition cells.
     pub load: String,
+    /// Competition cells only: the contender-mix label
+    /// ([`crate::ContenderMix::label`]). `None` for classic sweep
+    /// cells, and omitted from the canonical JSON so classic fixtures
+    /// are untouched by the column's existence.
+    pub mix: Option<String>,
     /// Total delivered goodput over all flows, Mbps.
     pub goodput_mbps: f64,
     /// Unweighted mean of per-flow mean RTTs, ms (flows with no RTT
@@ -89,6 +102,68 @@ pub struct CellReport {
     /// share is sustained ([`mocc_netsim::metrics::time_to_fair_share`]).
     /// `None` for classic sweep cells and when never reached.
     pub convergence_s: Option<f64>,
+}
+
+impl Serialize for CellReport {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = std::collections::BTreeMap::new();
+        let mut put = |k: &str, v: serde::Value| {
+            obj.insert(k.to_string(), v);
+        };
+        put("index", self.index.to_value());
+        put("seed", self.seed.to_value());
+        put("bandwidth_mbps", self.bandwidth_mbps.to_value());
+        put("owd_ms", self.owd_ms.to_value());
+        put("queue_pkts", self.queue_pkts.to_value());
+        put("loss_cfg", self.loss_cfg.to_value());
+        put("shape", self.shape.to_value());
+        put("load", self.load.to_value());
+        if let Some(mix) = &self.mix {
+            put("mix", mix.to_value());
+        }
+        put("goodput_mbps", self.goodput_mbps.to_value());
+        put("mean_rtt_ms", self.mean_rtt_ms.to_value());
+        put("p95_rtt_ms", self.p95_rtt_ms.to_value());
+        put("loss_rate", self.loss_rate.to_value());
+        put("utilization", self.utilization.to_value());
+        put("latency_ratio", self.latency_ratio.to_value());
+        put("jain", self.jain.to_value());
+        put("utility", self.utility.to_value());
+        put("friendliness", self.friendliness.to_value());
+        put("convergence_s", self.convergence_s.to_value());
+        serde::Value::Obj(obj)
+    }
+}
+
+impl<'de> Deserialize<'de> for CellReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Obj(obj) = v else {
+            return Err(serde::Error::custom(format!(
+                "expected CellReport object, got {v:?}"
+            )));
+        };
+        Ok(CellReport {
+            index: serde::from_field(obj, "index", "CellReport")?,
+            seed: serde::from_field(obj, "seed", "CellReport")?,
+            bandwidth_mbps: serde::from_field(obj, "bandwidth_mbps", "CellReport")?,
+            owd_ms: serde::from_field(obj, "owd_ms", "CellReport")?,
+            queue_pkts: serde::from_field(obj, "queue_pkts", "CellReport")?,
+            loss_cfg: serde::from_field(obj, "loss_cfg", "CellReport")?,
+            shape: serde::from_field(obj, "shape", "CellReport")?,
+            load: serde::from_field(obj, "load", "CellReport")?,
+            mix: serde::from_field(obj, "mix", "CellReport")?,
+            goodput_mbps: serde::from_field(obj, "goodput_mbps", "CellReport")?,
+            mean_rtt_ms: serde::from_field(obj, "mean_rtt_ms", "CellReport")?,
+            p95_rtt_ms: serde::from_field(obj, "p95_rtt_ms", "CellReport")?,
+            loss_rate: serde::from_field(obj, "loss_rate", "CellReport")?,
+            utilization: serde::from_field(obj, "utilization", "CellReport")?,
+            latency_ratio: serde::from_field(obj, "latency_ratio", "CellReport")?,
+            jain: serde::from_field(obj, "jain", "CellReport")?,
+            utility: serde::from_field(obj, "utility", "CellReport")?,
+            friendliness: serde::from_field(obj, "friendliness", "CellReport")?,
+            convergence_s: serde::from_field(obj, "convergence_s", "CellReport")?,
+        })
+    }
 }
 
 /// The identifying coordinates of one report row — everything a
@@ -202,6 +277,7 @@ impl CellReport {
             loss_cfg: round6(coords.loss_cfg),
             shape: coords.shape,
             load: coords.load,
+            mix: None,
             goodput_mbps: round6(goodput_bps / 1e6),
             mean_rtt_ms: round6(mean_rtt_ms),
             p95_rtt_ms: round6(p95_rtt_ms),
@@ -367,6 +443,23 @@ mod tests {
         assert_eq!(back, rep);
         assert_eq!(back.cells[0].friendliness, Some(1.25));
         assert_eq!(back.cells[0].convergence_s, Some(3.0));
+    }
+
+    /// The `mix` column is additive: absent (not `null`) for classic
+    /// cells — so pre-existing fixtures are byte-identical — and
+    /// round-trips when set on competition cells.
+    #[test]
+    fn mix_column_is_omitted_when_none_and_round_trips() {
+        let mut c = one_cell_report();
+        assert_eq!(c.mix, None);
+        let json = SweepReport::new("fixed", 7, 10, vec![c.clone()]).to_canonical_json();
+        assert!(!json.contains("\"mix\""), "{json}");
+        c.mix = Some("duel:cubic+bbr".to_string());
+        let rep = SweepReport::new("fixed", 7, 10, vec![c]);
+        let json = rep.to_canonical_json();
+        assert!(json.contains("\"mix\":\"duel:cubic+bbr\""), "{json}");
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(back, rep);
     }
 
     #[test]

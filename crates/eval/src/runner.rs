@@ -24,7 +24,9 @@
 use crate::competition::{
     run_competition_cell, CompetitionCell, CompetitionEvaluator, CompetitionSpec, ContenderFactory,
 };
+use crate::experiment::{ExperimentSpec, Workload};
 use crate::report::{CellReport, SweepReport};
+use crate::scheme::{SchemeCtx, SchemeRegistry, SchemeSpec, SpecError};
 use crate::spec::{SweepCell, SweepSpec};
 use mocc_netsim::cc::CongestionControl;
 use mocc_netsim::Simulator;
@@ -96,6 +98,58 @@ pub trait CellEvaluator: Sync {
     /// Evaluates a contiguous batch of cells, returning one report per
     /// cell in input order.
     fn eval_batch(&self, cells: &[SweepCell]) -> Vec<CellReport>;
+}
+
+/// A [`CellFactory`] resolving one scheme through a
+/// [`SchemeRegistry`] for every flow of every cell — the spec-driven
+/// sweep path.
+///
+/// # Panics
+///
+/// [`CellFactory::make`] panics (with the typed error's message) if
+/// the scheme is not instantiable; [`crate::ExperimentSpec::validate_in`]
+/// rejects such specs before any cell runs.
+struct RegistryFactory<'a> {
+    registry: &'a SchemeRegistry,
+    scheme: &'a SchemeSpec,
+}
+
+impl CellFactory for RegistryFactory<'_> {
+    fn make(&self, cell: &SweepCell) -> Vec<Box<dyn CongestionControl>> {
+        let ctx = SchemeCtx {
+            peak_rate_bps: cell.scenario.link.trace.max_rate(),
+        };
+        (0..cell.scenario.flows.len())
+            .map(|_| {
+                self.registry
+                    .instantiate(self.scheme, &ctx)
+                    .unwrap_or_else(|e| panic!("{e} (spec not validated?)"))
+            })
+            .collect()
+    }
+}
+
+/// A [`ContenderFactory`] resolving every contender label through a
+/// [`SchemeRegistry`] — the spec-driven competition path. Same
+/// validate-before-run contract as [`RegistryFactory`].
+struct RegistryContenders<'a> {
+    registry: &'a SchemeRegistry,
+}
+
+impl ContenderFactory for RegistryContenders<'_> {
+    fn make(
+        &self,
+        cell: &CompetitionCell,
+        _flow: usize,
+        label: &str,
+    ) -> Box<dyn CongestionControl> {
+        let ctx = SchemeCtx {
+            peak_rate_bps: cell.scenario.link.trace.max_rate(),
+        };
+        self.registry
+            .instantiate_label(label, &ctx)
+            .unwrap_or_else(|e| panic!("{e} (spec not validated?)"))
+    }
 }
 
 /// Adapter running a per-cell [`CellFactory`] as a chunk-of-one
@@ -233,23 +287,76 @@ impl SweepRunner {
         self.threads
     }
 
-    /// Runs every cell of `spec` under controllers from `factory` and
-    /// returns the aggregated report labelled with `controller`.
-    pub fn run(
+    /// **The unified entry point**: validates and runs a declarative
+    /// [`ExperimentSpec`] against the built-in scheme registry,
+    /// returning the canonical report labelled with the experiment's
+    /// name. Subsumes the per-workload `run_*` methods (now thin
+    /// deprecated shims).
+    ///
+    /// `mocc` schemes need a policy engine this crate does not have:
+    /// they come back as [`SpecError::NeedsPolicyEngine`] — run those
+    /// specs through `mocc_core::run_experiment` (or the `mocc` CLI),
+    /// which handles the batched-inference path and delegates
+    /// everything else here.
+    pub fn run(&self, exp: &ExperimentSpec) -> Result<SweepReport, SpecError> {
+        self.run_in(exp, &SchemeRegistry::builtin())
+    }
+
+    /// [`SweepRunner::run`] against a custom (pluggable) registry.
+    pub fn run_in(
+        &self,
+        exp: &ExperimentSpec,
+        registry: &SchemeRegistry,
+    ) -> Result<SweepReport, SpecError> {
+        exp.validate_in(registry)?;
+        if exp.needs_policy() {
+            let label = exp
+                .scheme_labels()
+                .into_iter()
+                .find(|l| SchemeSpec::parse(l).is_ok_and(|s| s.is_mocc()))
+                .expect("needs_policy implies a mocc label");
+            return Err(SpecError::NeedsPolicyEngine { label });
+        }
+        match &exp.workload {
+            Workload::Sweep(w) => {
+                let spec = exp.to_sweep_spec().expect("sweep workload lowers");
+                let factory = RegistryFactory {
+                    registry,
+                    scheme: &w.scheme,
+                };
+                Ok(self.run_factory(&spec, &exp.name, &factory))
+            }
+            Workload::Competition(_) => {
+                let spec = exp
+                    .to_competition_spec()
+                    .expect("competition workload lowers");
+                let factory = RegistryContenders { registry };
+                Ok(self.run_competition_factory(&spec, &exp.name, &factory))
+            }
+        }
+    }
+
+    /// Programmatic escape hatch: runs every cell of an
+    /// expansion-level [`SweepSpec`] under controllers from an
+    /// arbitrary [`CellFactory`]. Use [`SweepRunner::run`] (with a
+    /// custom registry if needed) when the experiment is expressible
+    /// as a spec document.
+    pub fn run_factory(
         &self,
         spec: &SweepSpec,
         controller: &str,
         factory: &dyn CellFactory,
     ) -> SweepReport {
-        self.run_evaluator(spec, controller, &FactoryEvaluator { factory })
+        self.run_cells(spec, controller, &FactoryEvaluator { factory })
     }
 
-    /// Runs every cell of `spec` through `evaluator`, handing each
+    /// Programmatic escape hatch: runs every cell of a [`SweepSpec`]
+    /// through a (possibly batched) [`CellEvaluator`], handing each
     /// worker contiguous chunks of [`CellEvaluator::batch_size`] cells
     /// so batched evaluators can amortize inference across a chunk.
     /// Results are slotted back by cell index: the report is
     /// byte-identical for any worker count and any batch size.
-    pub fn run_evaluator(
+    pub fn run_cells(
         &self,
         spec: &SweepSpec,
         controller: &str,
@@ -262,30 +369,25 @@ impl SweepRunner {
         SweepReport::new(controller, spec.seed, spec.duration_s, reports)
     }
 
-    /// Convenience: runs a named `mocc-cc` baseline over the spec.
-    pub fn run_baseline(&self, spec: &SweepSpec, name: &str) -> SweepReport {
-        self.run(spec, name, &BaselineFactory::new(name))
-    }
-
-    /// Runs every cell of a competition spec under controllers from
-    /// `factory` (per-flow scheme labels resolved one cell at a time)
-    /// and returns the aggregated report labelled with `controller`.
-    /// Same byte-identity contract as [`SweepRunner::run`].
-    pub fn run_competition(
+    /// Programmatic escape hatch: runs every cell of a
+    /// [`CompetitionSpec`] under controllers from an arbitrary
+    /// [`ContenderFactory`]. Same byte-identity contract as
+    /// [`SweepRunner::run_cells`].
+    pub fn run_competition_factory(
         &self,
         spec: &CompetitionSpec,
         controller: &str,
         factory: &dyn ContenderFactory,
     ) -> SweepReport {
-        self.run_competition_evaluator(spec, controller, &FactoryCompetitionEvaluator { factory })
+        self.run_competition_cells(spec, controller, &FactoryCompetitionEvaluator { factory })
     }
 
-    /// Runs every cell of a competition spec through a (possibly
-    /// batched) [`CompetitionEvaluator`] — the hook that lets learned
-    /// policies serve *competing* flows from batched forward passes.
-    /// The report is byte-identical for any worker count and any batch
-    /// size.
-    pub fn run_competition_evaluator(
+    /// Programmatic escape hatch: runs every cell of a
+    /// [`CompetitionSpec`] through a (possibly batched)
+    /// [`CompetitionEvaluator`] — the hook that lets learned policies
+    /// serve *competing* flows from batched forward passes. The report
+    /// is byte-identical for any worker count and any batch size.
+    pub fn run_competition_cells(
         &self,
         spec: &CompetitionSpec,
         controller: &str,
@@ -296,6 +398,56 @@ impl SweepRunner {
             evaluator.eval_batch(chunk)
         });
         SweepReport::new(controller, spec.seed, spec.duration_s, reports)
+    }
+
+    /// Convenience shim: runs a named `mocc-cc` baseline over the
+    /// spec.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an `ExperimentSpec` and call `SweepRunner::run` instead"
+    )]
+    pub fn run_baseline(&self, spec: &SweepSpec, name: &str) -> SweepReport {
+        self.run_factory(spec, name, &BaselineFactory::new(name))
+    }
+
+    /// Renamed shim for [`SweepRunner::run_cells`].
+    #[deprecated(since = "0.2.0", note = "renamed to `SweepRunner::run_cells`")]
+    pub fn run_evaluator(
+        &self,
+        spec: &SweepSpec,
+        controller: &str,
+        evaluator: &dyn CellEvaluator,
+    ) -> SweepReport {
+        self.run_cells(spec, controller, evaluator)
+    }
+
+    /// Renamed shim for [`SweepRunner::run_competition_factory`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `SweepRunner::run_competition_factory`; spec-file \
+                competitions go through `SweepRunner::run`"
+    )]
+    pub fn run_competition(
+        &self,
+        spec: &CompetitionSpec,
+        controller: &str,
+        factory: &dyn ContenderFactory,
+    ) -> SweepReport {
+        self.run_competition_factory(spec, controller, factory)
+    }
+
+    /// Renamed shim for [`SweepRunner::run_competition_cells`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `SweepRunner::run_competition_cells`"
+    )]
+    pub fn run_competition_evaluator(
+        &self,
+        spec: &CompetitionSpec,
+        controller: &str,
+        evaluator: &dyn CompetitionEvaluator,
+    ) -> SweepReport {
+        self.run_competition_cells(spec, controller, evaluator)
     }
 }
 
@@ -334,15 +486,15 @@ mod tests {
     #[test]
     fn parallel_report_is_byte_identical_to_serial() {
         let spec = small_spec();
-        let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &aimd_factory);
-        let parallel = SweepRunner::with_threads(4).run(&spec, "aimd", &aimd_factory);
+        let serial = SweepRunner::with_threads(1).run_factory(&spec, "aimd", &aimd_factory);
+        let parallel = SweepRunner::with_threads(4).run_factory(&spec, "aimd", &aimd_factory);
         assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
     }
 
     #[test]
     fn runner_covers_every_cell_in_order() {
         let spec = small_spec();
-        let rep = SweepRunner::with_threads(3).run(&spec, "aimd", &aimd_factory);
+        let rep = SweepRunner::with_threads(3).run_factory(&spec, "aimd", &aimd_factory);
         assert_eq!(rep.cells.len(), spec.cell_count());
         for (i, c) in rep.cells.iter().enumerate() {
             assert_eq!(c.index, i as u64);
@@ -357,6 +509,7 @@ mod tests {
         spec.bandwidth_mbps = vec![8.0];
         spec.owd_ms = vec![10];
         spec.loss = vec![0.0];
+        #[allow(deprecated)] // pins the shim's behavior for its final release
         let rep = SweepRunner::with_threads(2).run_baseline(&spec, "cubic");
         assert_eq!(rep.controller, "cubic");
         assert!(rep.cells[0].utilization > 0.5, "{:?}", rep.cells[0]);
@@ -393,12 +546,93 @@ mod tests {
         ];
         spec.duration_s = 8;
         let serial =
-            SweepRunner::with_threads(1).run_competition(&spec, "mix", &BaselineContenders);
-        let quad = SweepRunner::with_threads(4).run_competition(&spec, "mix", &BaselineContenders);
+            SweepRunner::with_threads(1).run_competition_factory(&spec, "mix", &BaselineContenders);
+        let quad =
+            SweepRunner::with_threads(4).run_competition_factory(&spec, "mix", &BaselineContenders);
         assert_eq!(serial.to_canonical_json(), quad.to_canonical_json());
         assert_eq!(serial.cells.len(), 2);
-        assert_eq!(serial.cells[0].load, "duel:cubic+vegas");
-        assert_eq!(serial.cells[1].load, "stair:bbr:2x2");
+        assert_eq!(serial.cells[0].load, "flows:2");
+        assert_eq!(serial.cells[0].mix.as_deref(), Some("duel:cubic+vegas"));
+        assert_eq!(serial.cells[1].load, "flows:2");
+        assert_eq!(serial.cells[1].mix.as_deref(), Some("stair:bbr:2x2"));
+    }
+
+    /// The unified entry point is behavior-preserving: a declarative
+    /// sweep experiment produces a report byte-identical to the
+    /// factory path it subsumes, and a competition experiment matches
+    /// the competition-factory path.
+    #[test]
+    fn experiment_entry_point_matches_the_legacy_paths() {
+        use crate::experiment::ExperimentSpec;
+        use crate::scheme::SchemeSpec;
+        let spec = small_spec();
+        let exp = ExperimentSpec::from_sweep("cubic", SchemeSpec::parse("cubic").unwrap(), &spec);
+        let unified = SweepRunner::with_threads(2).run(&exp).unwrap();
+        let legacy = SweepRunner::with_threads(2).run_factory(
+            &spec,
+            "cubic",
+            &BaselineFactory::new("cubic"),
+        );
+        assert_eq!(unified.to_canonical_json(), legacy.to_canonical_json());
+
+        use crate::competition::{BaselineContenders, CompetitionSpec, ContenderMix};
+        let mut cspec = CompetitionSpec::quick();
+        cspec.mixes = vec![ContenderMix::duel("cubic", "vegas")];
+        cspec.duration_s = 8;
+        let cexp = ExperimentSpec::from_competition("mix", &cspec);
+        let unified = SweepRunner::with_threads(2).run(&cexp).unwrap();
+        let legacy = SweepRunner::with_threads(2).run_competition_factory(
+            &cspec,
+            "mix",
+            &BaselineContenders,
+        );
+        assert_eq!(unified.to_canonical_json(), legacy.to_canonical_json());
+    }
+
+    /// `mocc` schemes cannot run without a policy engine: the unified
+    /// entry point reports it as a typed error, not a panic.
+    #[test]
+    fn mocc_experiments_need_the_policy_engine() {
+        use crate::experiment::{ExperimentSpec, PolicySpec};
+        use crate::scheme::{SchemeSpec, SpecError};
+        let mut exp = ExperimentSpec::from_sweep(
+            "mocc-thr",
+            SchemeSpec::parse("mocc:thr").unwrap(),
+            &small_spec(),
+        );
+        exp.policy = Some(PolicySpec::default());
+        match SweepRunner::with_threads(1).run(&exp) {
+            Err(SpecError::NeedsPolicyEngine { label }) => assert_eq!(label, "mocc:thr"),
+            other => panic!("expected NeedsPolicyEngine, got {other:?}"),
+        }
+        // And without a policy section it fails validation first.
+        exp.policy = None;
+        assert!(matches!(
+            SweepRunner::with_threads(1).run(&exp),
+            Err(SpecError::InvalidSpec { .. })
+        ));
+    }
+
+    /// Custom registry schemes drive spec-file experiments through
+    /// `run_in`: a plugged-in constructor serves both sweep flows and
+    /// competition contenders (including the friendliness control).
+    #[test]
+    fn custom_registry_schemes_run_experiments() {
+        use crate::experiment::ExperimentSpec;
+        use crate::scheme::{SchemeRegistry, SchemeSpec};
+        let reg =
+            SchemeRegistry::builtin().with_scheme("aimd", "test AIMD", |_| Box::new(Aimd::new()));
+        let exp =
+            ExperimentSpec::from_sweep("aimd", SchemeSpec::parse("aimd").unwrap(), &small_spec());
+        let via_registry = SweepRunner::with_threads(2).run_in(&exp, &reg).unwrap();
+        let via_factory =
+            SweepRunner::with_threads(2).run_factory(&small_spec(), "aimd", &aimd_factory);
+        assert_eq!(
+            via_registry.to_canonical_json(),
+            via_factory.to_canonical_json()
+        );
+        // The builtin registry rejects the same spec up front.
+        assert!(SweepRunner::with_threads(1).run(&exp).is_err());
     }
 
     /// A batched evaluator (chunks of 4) must produce a report
@@ -416,8 +650,8 @@ mod tests {
             }
         }
         let spec = small_spec();
-        let via_factory = SweepRunner::with_threads(2).run(&spec, "aimd", &aimd_factory);
-        let via_chunks = SweepRunner::with_threads(3).run_evaluator(&spec, "aimd", &Chunky);
+        let via_factory = SweepRunner::with_threads(2).run_factory(&spec, "aimd", &aimd_factory);
+        let via_chunks = SweepRunner::with_threads(3).run_cells(&spec, "aimd", &Chunky);
         assert_eq!(
             via_factory.to_canonical_json(),
             via_chunks.to_canonical_json()

@@ -10,6 +10,7 @@
 //! spec are identical, which is the foundation of the golden-trace
 //! regression tests.
 
+use crate::scheme::SpecError;
 use mocc_netsim::time::SimDuration;
 use mocc_netsim::{BandwidthTrace, FlowSpec, LinkSpec, MiMode, Scenario};
 
@@ -47,6 +48,44 @@ impl TraceShape {
         }
     }
 
+    /// Parses a canonical label back into a shape — the exact inverse
+    /// of [`TraceShape::label`], used by spec files.
+    pub fn parse(label: &str) -> Result<Self, SpecError> {
+        let bad = |reason: String| SpecError::InvalidSpec { reason };
+        if label == "constant" {
+            return Ok(TraceShape::Constant);
+        }
+        if let Some(period) = label.strip_prefix("square:") {
+            let period_s: f64 = period
+                .parse()
+                .ok()
+                .filter(|p: &f64| p.is_finite() && *p > 0.0)
+                .ok_or_else(|| bad(format!("trace shape {label:?}: bad period {period:?}")))?;
+            return Ok(TraceShape::Square { period_s });
+        }
+        if let Some(spec) = label.strip_prefix("osc:") {
+            let (steps, dwell) = spec.split_once('x').ok_or_else(|| {
+                bad(format!(
+                    "trace shape {label:?}: expected `osc:<steps>x<dwell_s>`"
+                ))
+            })?;
+            let steps: usize =
+                steps.parse().ok().filter(|s| *s > 0).ok_or_else(|| {
+                    bad(format!("trace shape {label:?}: bad step count {steps:?}"))
+                })?;
+            let dwell_s: f64 = dwell
+                .parse()
+                .ok()
+                .filter(|d: &f64| d.is_finite() && *d > 0.0)
+                .ok_or_else(|| bad(format!("trace shape {label:?}: bad dwell {dwell:?}")))?;
+            return Ok(TraceShape::Oscillating { steps, dwell_s });
+        }
+        Err(bad(format!(
+            "unknown trace shape {label:?}: expected `constant`, `square:<period_s>`, \
+             or `osc:<steps>x<dwell_s>`"
+        )))
+    }
+
     fn build(&self, peak_bps: f64, dur_s: u64) -> BandwidthTrace {
         let total = dur_s as f64;
         match *self {
@@ -57,6 +96,23 @@ impl TraceShape {
             TraceShape::Oscillating { steps, dwell_s } => {
                 BandwidthTrace::oscillating(0.5 * peak_bps, peak_bps, steps, dwell_s, total)
             }
+        }
+    }
+}
+
+impl serde::Serialize for TraceShape {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for TraceShape {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => TraceShape::parse(s).map_err(serde::Error::custom),
+            _ => Err(serde::Error::custom(format!(
+                "expected trace-shape label string, got {v:?}"
+            ))),
         }
     }
 }
@@ -82,6 +138,21 @@ impl FlowLoad {
         }
     }
 
+    /// Parses a canonical label back into a load — the exact inverse
+    /// of [`FlowLoad::label`], used by spec files.
+    pub fn parse(label: &str) -> Result<Self, SpecError> {
+        let bad = || SpecError::InvalidSpec {
+            reason: format!("unknown flow load {label:?}: expected `steady:<n>` or `onoff:<n>`"),
+        };
+        if let Some(n) = label.strip_prefix("steady:") {
+            return n.parse().map(FlowLoad::Steady).map_err(|_| bad());
+        }
+        if let Some(n) = label.strip_prefix("onoff:") {
+            return n.parse().map(FlowLoad::OnOffCross).map_err(|_| bad());
+        }
+        Err(bad())
+    }
+
     /// Total number of flows (and therefore controllers) in the cell.
     pub fn flow_count(&self) -> usize {
         match *self {
@@ -101,6 +172,23 @@ impl FlowLoad {
                 }
                 flows
             }
+        }
+    }
+}
+
+impl serde::Serialize for FlowLoad {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FlowLoad {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => FlowLoad::parse(s).map_err(serde::Error::custom),
+            _ => Err(serde::Error::custom(format!(
+                "expected flow-load label string, got {v:?}"
+            ))),
         }
     }
 }
@@ -347,6 +435,36 @@ mod tests {
         );
         assert_eq!(FlowLoad::Steady(3).label(), "steady:3");
         assert_eq!(FlowLoad::OnOffCross(1).label(), "onoff:1");
+    }
+
+    #[test]
+    fn labels_parse_back_to_their_values() {
+        for shape in [
+            TraceShape::Constant,
+            TraceShape::Square { period_s: 2.5 },
+            TraceShape::Oscillating {
+                steps: 4,
+                dwell_s: 2.0,
+            },
+        ] {
+            assert_eq!(TraceShape::parse(&shape.label()).unwrap(), shape);
+        }
+        for load in [FlowLoad::Steady(3), FlowLoad::OnOffCross(2)] {
+            assert_eq!(FlowLoad::parse(&load.label()).unwrap(), load);
+        }
+        for bad in [
+            "",
+            "osc:4",
+            "osc:0x2",
+            "square:-1",
+            "square:x",
+            "steady:",
+            "onoff:x",
+            "ramp:3",
+        ] {
+            assert!(TraceShape::parse(bad).is_err(), "{bad:?}");
+            assert!(FlowLoad::parse(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example fairness
 //! ```
 
-use mocc::eval::{fmt_opt_metric, BaselineContenders, CompetitionSpec, ContenderMix, SweepRunner};
+use mocc::eval::{fmt_opt_metric, CompetitionSpec, ContenderMix, ExperimentSpec, SweepRunner};
 
 fn main() {
     // 12 Mbps bottleneck, 20 ms base RTT: same-scheme duels and
@@ -43,7 +43,10 @@ fn main() {
         " last join until J >= {} holds for {} s)\n",
         spec.fair_jain, spec.fair_sustain_s
     );
-    let report = runner.run_competition(&spec, "baselines", &BaselineContenders);
+    // The whole experiment is one declarative document — the same
+    // thing `mocc run` executes from a JSON file (docs/SPECS.md).
+    let exp = ExperimentSpec::from_competition("baselines", &spec);
+    let report = runner.run(&exp).expect("valid competition spec");
     println!(
         "{:<22} {:>12} {:>8} {:>8} {:>10} {:>8}",
         "mix", "goodput Mb", "util", "J", "friendly", "conv s"
@@ -51,7 +54,7 @@ fn main() {
     for cell in &report.cells {
         println!(
             "{:<22} {:>12.2} {:>8.3} {:>8.3} {:>10} {:>8}",
-            cell.load,
+            cell.mix.as_deref().unwrap_or(&cell.load),
             cell.goodput_mbps,
             cell.utilization,
             cell.jain,

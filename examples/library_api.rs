@@ -9,7 +9,8 @@
 //! transport) embeds MOCC through the three-function API, exactly like
 //! the paper's UDT and CCP integrations.
 
-use mocc::core::{MoccAgent, MoccConfig, MoccLib, NetStatus, Preference};
+use mocc::core::{preference_from_spec, MoccAgent, MoccConfig, MoccLib, NetStatus};
+use mocc::eval::SchemeSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,8 +21,13 @@ fn main() {
     // The datapath owns a MoccLib and calls it each monitor interval.
     let mut lib = MoccLib::new(&agent, 2e6);
 
-    // Register(w): the application declares its requirement.
-    lib.register(Preference::new(0.4, 0.5, 0.1));
+    // Register(w): the application declares its requirement. The
+    // requirement arrives as a scheme label in the shared grammar —
+    // the same string a spec file or CLI would use — so nothing
+    // hand-rolls weight vectors.
+    let scheme = SchemeSpec::parse("mocc:0.4,0.5,0.1").expect("valid scheme label");
+    let pref = scheme.mocc_pref().expect("a mocc label carries weights");
+    lib.register(preference_from_spec(&pref));
 
     // A pretend control loop: the "network" reports improving, then
     // congesting conditions; the library steers the rate.

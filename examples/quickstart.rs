@@ -1,16 +1,20 @@
-//! Quickstart: train a small MOCC agent and drive a flow with it.
+//! Quickstart: train a small MOCC agent and drive experiments with it
+//! through the unified spec API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Trains for a handful of PPO iterations on the paper's Table 3
-//! training ranges, registers two different application preferences
-//! with the same model, and shows the resulting behaviour difference on
-//! one fixed link.
+//! training ranges, saves the model, and then deploys it *declaratively*:
+//! one [`ExperimentSpec`] per registered preference, each naming the
+//! scheme by its `mocc:<pref>` label and pinning the saved model via the
+//! spec's policy section — the exact documents `mocc run` executes from
+//! JSON files (docs/SPECS.md).
 
-use mocc::core::{MoccAgent, MoccCc, MoccConfig, Preference};
-use mocc::netsim::{Scenario, ScenarioRange, Simulator};
+use mocc::core::{run_experiment, MoccAgent, MoccConfig, Preference};
+use mocc::eval::{ExperimentSpec, PolicySpec, SchemeSpec, SweepRunner, SweepSpec};
+use mocc::netsim::ScenarioRange;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,20 +42,33 @@ fn main() {
         }
     }
 
-    // 3. Deploy the same model with two different registered
-    //    preferences on one 4 Mbps / 20 ms link.
-    for (name, pref) in [
-        ("throughput <0.8,0.1,0.1>", Preference::throughput()),
-        ("latency    <0.1,0.8,0.1>", Preference::latency()),
-    ] {
-        let sc = Scenario::single(4e6, 20, 800, 0.0, 30);
-        let cc = MoccCc::new(&agent, pref, 1e6);
-        let res = Simulator::new(sc, vec![Box::new(cc)]).run();
-        let f = &res.flows[0];
+    // 3. Save the model and deploy it through the spec API: the same
+    //    weights, two registered preferences, one 4 Mbps / 20 ms link.
+    let model_path = std::env::temp_dir().join("mocc-quickstart-agent.json");
+    agent.save(&model_path).expect("save trained agent");
+    let mut matrix = SweepSpec::single_cell();
+    matrix.bandwidth_mbps = vec![4.0];
+    matrix.queue_pkts = vec![800];
+    matrix.duration_s = 30;
+    // Per-RTT adaptive monitor intervals, matching the training demo's
+    // convention (the figure experiments use `agent_mi: true` instead).
+    matrix.agent_mi = false;
+    let runner = SweepRunner::auto();
+    for label in ["mocc:thr", "mocc:lat"] {
+        let scheme = SchemeSpec::parse(label).expect("known scheme label");
+        let mut exp = ExperimentSpec::from_sweep(label, scheme, &matrix);
+        exp.policy = Some(PolicySpec {
+            path: Some(model_path.display().to_string()),
+            initial_rate_frac: 0.25,
+            ..PolicySpec::default()
+        });
+        let report = run_experiment(&runner, &exp).expect("valid spec");
+        let cell = &report.cells[0];
         println!(
-            "{name}: utilization {:.2}, mean RTT {:.1} ms, loss {:.3}",
-            f.utilization, f.mean_rtt_ms, f.loss_rate
+            "{label}: utilization {:.2}, mean RTT {:.1} ms, loss {:.3}",
+            cell.utilization, cell.mean_rtt_ms, cell.loss_rate
         );
     }
+    std::fs::remove_file(&model_path).ok();
     println!("one model, two objectives — that is the MOCC property.");
 }

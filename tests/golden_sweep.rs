@@ -15,14 +15,13 @@
 //! `MOCC_SWEEP_THREADS=1` and with the default worker count, so any
 //! scheduling-dependent nondeterminism fails the build.
 
-use mocc::core::{BatchMoccEvaluator, MoccAgent, MoccConfig, Preference};
+use mocc::core::run_experiment;
 use mocc::eval::{
-    run_cell, BaselineContenders, BaselineFactory, CellEvaluator, CellReport, CompetitionSpec,
-    ContenderMix, FlowLoad, SweepCell, SweepReport, SweepRunner, SweepSpec, TraceShape,
+    run_cell, BaselineFactory, CellEvaluator, CellReport, CompetitionSpec, ContenderMix,
+    ExperimentSpec, FlowLoad, MoccPrefSpec, PolicySpec, SchemeSpec, SweepCell, SweepReport,
+    SweepRunner, SweepSpec, TraceShape,
 };
 use mocc::netsim::cc::{Aimd, CongestionControl};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::path::PathBuf;
 
 /// Controllers with golden fixtures.
@@ -111,12 +110,41 @@ fn golden_competition_mocc_spec() -> CompetitionSpec {
     }
 }
 
-/// The fixed-seed (untrained) agent behind the MOCC competition
-/// fixture: deterministic across platforms via the vendored RNG.
-fn golden_mocc_evaluator() -> BatchMoccEvaluator {
-    let mut rng = StdRng::seed_from_u64(11);
-    let agent = MoccAgent::new(MoccConfig::fast(), &mut rng);
-    BatchMoccEvaluator::new(&agent, Preference::balanced(), 0.3)
+/// The policy section behind the MOCC competition fixture: a
+/// fixed-seed (untrained) agent, deterministic across platforms via
+/// the vendored RNG — entirely described by spec data, so the same
+/// fixture is reproducible from a spec file alone.
+fn golden_policy() -> PolicySpec {
+    PolicySpec {
+        path: None,
+        seed: 11,
+        config: "fast".to_string(),
+        preference: MoccPrefSpec::Balanced,
+        initial_rate_frac: 0.3,
+        batch: 4,
+    }
+}
+
+/// The golden experiments as declarative documents: what the spec
+/// files under `examples/specs/` contain and what every golden run in
+/// this suite executes.
+fn golden_experiment(controller: &str) -> ExperimentSpec {
+    ExperimentSpec::from_sweep(
+        controller,
+        SchemeSpec::parse(controller).expect("golden controller parses"),
+        &golden_spec(),
+    )
+}
+
+fn golden_competition_experiment() -> ExperimentSpec {
+    ExperimentSpec::from_competition("mix", &golden_competition_spec())
+}
+
+fn golden_competition_mocc_experiment() -> ExperimentSpec {
+    let mut exp =
+        ExperimentSpec::from_competition("mocc-competition", &golden_competition_mocc_spec());
+    exp.policy = Some(golden_policy());
+    exp
 }
 
 fn assert_cell_close(got: &CellReport, want: &CellReport, ctrl: &str) {
@@ -159,7 +187,9 @@ fn check_golden(name: &str) {
         )
     });
     let want = SweepReport::from_json(&text).expect("fixture parses");
-    let got = SweepRunner::auto().run_baseline(&golden_spec(), name);
+    let got = SweepRunner::auto()
+        .run(&golden_experiment(name))
+        .expect("golden experiment is valid");
     assert_eq!(
         got.cells.len(),
         want.cells.len(),
@@ -196,8 +226,37 @@ fn golden_copa() {
     check_golden("copa");
 }
 
+/// The redesign is behavior-preserving (acceptance criterion): the
+/// unified `SweepRunner::run(&ExperimentSpec)` path reproduces every
+/// classic golden fixture byte for byte, spec document in, canonical
+/// JSON out.
+#[test]
+fn golden_fixtures_byte_identical_via_experiment_spec() {
+    for name in CONTROLLERS {
+        let fixture = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
+        let exp = golden_experiment(name);
+        let got = SweepRunner::auto()
+            .run(&exp)
+            .expect("valid golden experiment");
+        assert_eq!(
+            got.to_canonical_json(),
+            fixture,
+            "{name}: the ExperimentSpec path drifted from the golden fixture"
+        );
+        // ... and surviving a JSON round trip changes nothing: what
+        // runs from a spec *file* is what runs from code.
+        let reparsed = ExperimentSpec::from_json(&exp.to_canonical_json()).unwrap();
+        let via_file = run_experiment(&SweepRunner::auto(), &reparsed).unwrap();
+        assert_eq!(
+            via_file.to_canonical_json(),
+            fixture,
+            "{name}: JSON round trip drifted"
+        );
+    }
+}
+
 /// The batched execution path cannot disturb the goldens: running the
-/// frozen golden spec through `run_evaluator` with multi-cell chunks
+/// frozen golden spec through `run_cells` with multi-cell chunks
 /// must reproduce every committed fixture byte for byte. (The learned
 /// policy's batched-inference equivalence is pinned separately by the
 /// `act_batch` property test and the `BatchMoccEvaluator` unit tests;
@@ -220,7 +279,7 @@ fn golden_fixtures_byte_identical_via_batched_runner() {
         let evaluator = ChunkedBaseline {
             factory: BaselineFactory::new(name),
         };
-        let got = SweepRunner::auto().run_evaluator(&golden_spec(), name, &evaluator);
+        let got = SweepRunner::auto().run_cells(&golden_spec(), name, &evaluator);
         assert_eq!(
             got.to_canonical_json(),
             fixture,
@@ -243,8 +302,9 @@ fn golden_competition_baselines() {
             path.display()
         )
     });
-    let got =
-        SweepRunner::auto().run_competition(&golden_competition_spec(), "mix", &BaselineContenders);
+    let got = SweepRunner::auto()
+        .run(&golden_competition_experiment())
+        .expect("valid golden competition experiment");
     assert_eq!(
         got.to_canonical_json(),
         fixture,
@@ -266,11 +326,8 @@ fn golden_competition_mocc() {
             path.display()
         )
     });
-    let got = SweepRunner::auto().run_competition_evaluator(
-        &golden_competition_mocc_spec(),
-        "mocc-competition",
-        &golden_mocc_evaluator().with_batch_size(4),
-    );
+    let got = run_experiment(&SweepRunner::auto(), &golden_competition_mocc_experiment())
+        .expect("valid golden MOCC competition experiment");
     assert_eq!(
         got.to_canonical_json(),
         fixture,
@@ -287,17 +344,11 @@ fn golden_competition_mocc() {
 /// and a time-to-fair-share.
 #[test]
 fn competition_report_identical_across_threads_and_batches() {
-    let spec = golden_competition_mocc_spec();
-    let serial = SweepRunner::with_threads(1).run_competition_evaluator(
-        &spec,
-        "mocc-competition",
-        &golden_mocc_evaluator().with_batch_size(1),
-    );
-    let batched = SweepRunner::with_threads(4).run_competition_evaluator(
-        &spec,
-        "mocc-competition",
-        &golden_mocc_evaluator().with_batch_size(8),
-    );
+    let mut exp = golden_competition_mocc_experiment();
+    exp.policy.as_mut().unwrap().batch = 1;
+    let serial = run_experiment(&SweepRunner::with_threads(1), &exp).unwrap();
+    exp.policy.as_mut().unwrap().batch = 8;
+    let batched = run_experiment(&SweepRunner::with_threads(4), &exp).unwrap();
     assert_eq!(
         serial.to_canonical_json(),
         batched.to_canonical_json(),
@@ -344,8 +395,8 @@ fn parallel_sweep_is_byte_identical_to_serial() {
             .map(|_| Box::new(Aimd::new()) as Box<dyn CongestionControl>)
             .collect::<Vec<_>>()
     };
-    let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &factory);
-    let quad = SweepRunner::with_threads(4).run(&spec, "aimd", &factory);
+    let serial = SweepRunner::with_threads(1).run_factory(&spec, "aimd", &factory);
+    let quad = SweepRunner::with_threads(4).run_factory(&spec, "aimd", &factory);
     assert_eq!(
         serial.to_canonical_json(),
         quad.to_canonical_json(),
@@ -353,8 +404,45 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     );
 }
 
-/// Regenerates every golden fixture in place. Ignored by default; run
-/// explicitly after an intentional behaviour change:
+fn example_spec_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/specs")
+        .join(format!("{name}.json"))
+}
+
+/// The shipped example spec files are exactly the golden experiments:
+/// each must parse, validate, and — run from the file alone, through
+/// the full spec-driven path — reproduce its committed golden report
+/// byte for byte. This is the same check CI's `spec-cli` job performs
+/// through the `mocc` binary, pinned here so `cargo test` catches
+/// drift without the CLI.
+#[test]
+fn example_spec_files_reproduce_the_goldens() {
+    for (spec_file, fixture) in [
+        ("sweep_cubic", "cubic"),
+        ("competition_mocc", "competition_mocc"),
+    ] {
+        let path = example_spec_path(spec_file);
+        let exp = ExperimentSpec::load(&path).unwrap_or_else(|e| {
+            panic!(
+                "{e}; regenerate spec files with \
+                 `cargo test --test golden_sweep -- --ignored regen_golden`"
+            )
+        });
+        exp.validate().expect("shipped spec validates");
+        let report = run_experiment(&SweepRunner::auto(), &exp).expect("shipped spec runs");
+        let want = std::fs::read_to_string(fixture_path(fixture)).expect("fixture present");
+        assert_eq!(
+            report.to_canonical_json(),
+            want,
+            "{spec_file}.json no longer reproduces golden_{fixture}.json"
+        );
+    }
+}
+
+/// Regenerates every golden fixture — and the example spec files that
+/// reproduce them — in place. Ignored by default; run explicitly after
+/// an intentional behaviour change:
 ///
 /// ```text
 /// cargo test --test golden_sweep -- --ignored regen_golden
@@ -364,23 +452,32 @@ fn parallel_sweep_is_byte_identical_to_serial() {
 fn regen_golden() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let runner = SweepRunner::auto();
     for name in CONTROLLERS {
-        let report = SweepRunner::auto().run_baseline(&golden_spec(), name);
+        let report = runner.run(&golden_experiment(name)).expect("valid");
         let path = fixture_path(name);
         std::fs::write(&path, report.to_canonical_json()).expect("write fixture");
         eprintln!("regenerated {}", path.display());
     }
-    let competition =
-        SweepRunner::auto().run_competition(&golden_competition_spec(), "mix", &BaselineContenders);
+    let competition = runner.run(&golden_competition_experiment()).expect("valid");
     let path = fixture_path("competition_baselines");
     std::fs::write(&path, competition.to_canonical_json()).expect("write fixture");
     eprintln!("regenerated {}", path.display());
-    let mocc = SweepRunner::auto().run_competition_evaluator(
-        &golden_competition_mocc_spec(),
-        "mocc-competition",
-        &golden_mocc_evaluator().with_batch_size(4),
-    );
+    let mocc = run_experiment(&runner, &golden_competition_mocc_experiment()).expect("valid");
     let path = fixture_path("competition_mocc");
     std::fs::write(&path, mocc.to_canonical_json()).expect("write fixture");
     eprintln!("regenerated {}", path.display());
+    // The example spec files stay in lockstep with the frozen golden
+    // experiments, so `mocc run examples/specs/<f>.json` reproduces a
+    // committed golden with no Rust involved.
+    let specs_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/specs");
+    std::fs::create_dir_all(&specs_dir).expect("create specs dir");
+    for (file, exp) in [
+        ("sweep_cubic", golden_experiment("cubic")),
+        ("competition_mocc", golden_competition_mocc_experiment()),
+    ] {
+        let path = example_spec_path(file);
+        std::fs::write(&path, exp.to_canonical_json()).expect("write spec file");
+        eprintln!("regenerated {}", path.display());
+    }
 }

@@ -2,8 +2,8 @@
 
 use mocc::core::{landmark_count, landmarks, Preference};
 use mocc::eval::{
-    BaselineContenders, CompetitionSpec, ContenderMix, FlowLoad, SweepCell, SweepRunner, SweepSpec,
-    TraceShape,
+    BaselineContenders, CompetitionSpec, ContenderMix, ExperimentSpec, FlowLoad, PolicySpec,
+    SchemeRegistry, SchemeSpec, SweepCell, SweepRunner, SweepSpec, TraceShape,
 };
 use mocc::netsim::cc::{Aimd, CongestionControl, FixedRate};
 use mocc::netsim::metrics::jain_index;
@@ -12,7 +12,99 @@ use mocc::nn::Matrix;
 use mocc::rl::{GaussianPolicy, PolicyScratch};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically generates a randomized-but-valid-shaped
+/// [`ExperimentSpec`] from a seed: random axes, every shape/load/mix
+/// family, every mocc label form, optional policy sections. (Values
+/// are drawn from small grids so the documents stay readable when a
+/// failure prints one.)
+fn random_experiment(seed: u64) -> ExperimentSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schemes = [
+        "cubic",
+        "bbr",
+        "vegas",
+        "copa",
+        "pcc-vivace",
+        "mocc",
+        "mocc:thr",
+        "mocc:lat",
+        "mocc:bal",
+        "mocc:0.5,0.25,0.25",
+    ];
+    let pick = |rng: &mut StdRng| schemes[rng.gen_range(0..schemes.len())].to_string();
+    let matrix = SweepSpec {
+        bandwidth_mbps: vec![rng.gen_range(1.0f64..50.0), rng.gen_range(1.0f64..50.0)],
+        owd_ms: vec![rng.gen_range(5u64..200)],
+        queue_pkts: vec![rng.gen_range(10usize..5000)],
+        loss: vec![0.0, rng.gen_range(0.0f64..0.5)],
+        shapes: vec![
+            TraceShape::Constant,
+            TraceShape::Square {
+                period_s: rng.gen_range(0.5f64..8.0),
+            },
+            TraceShape::Oscillating {
+                steps: rng.gen_range(1usize..6),
+                dwell_s: rng.gen_range(0.5f64..4.0),
+            },
+        ],
+        loads: vec![
+            FlowLoad::Steady(rng.gen_range(1usize..4)),
+            FlowLoad::OnOffCross(rng.gen_range(1usize..3)),
+        ],
+        duration_s: rng.gen_range(4u64..40),
+        mss_bytes: 1500,
+        seed: rng.gen(),
+        agent_mi: rng.gen_bool(0.5),
+    };
+    let mut exp = if rng.gen_bool(0.5) {
+        let label = pick(&mut rng);
+        let scheme = SchemeSpec::parse(&label).expect("generator labels parse");
+        ExperimentSpec::from_sweep("prop-sweep", scheme, &matrix)
+    } else {
+        let comp = CompetitionSpec {
+            mixes: vec![
+                ContenderMix::Duel(vec![pick(&mut rng), pick(&mut rng), pick(&mut rng)]),
+                {
+                    let stair_scheme = pick(&mut rng);
+                    ContenderMix::staircase(&stair_scheme, rng.gen_range(1usize..4), 2.0)
+                },
+            ],
+            bandwidth_mbps: matrix.bandwidth_mbps.clone(),
+            owd_ms: matrix.owd_ms.clone(),
+            queue_pkts: matrix.queue_pkts.clone(),
+            duration_s: matrix.duration_s,
+            mss_bytes: 1500,
+            seed: matrix.seed,
+            agent_mi: matrix.agent_mi,
+            tcp_baseline: "cubic".to_string(),
+            fair_jain: rng.gen_range(0.5f64..1.0),
+            fair_sustain_s: rng.gen_range(1u64..5),
+        };
+        ExperimentSpec::from_competition("prop-competition", &comp)
+    };
+    if rng.gen_bool(0.5) {
+        exp.policy = Some(PolicySpec {
+            path: rng.gen_bool(0.3).then(|| "models/agent.json".to_string()),
+            seed: rng.gen(),
+            config: if rng.gen_bool(0.5) { "fast" } else { "default" }.to_string(),
+            initial_rate_frac: rng.gen_range(0.05f64..1.0),
+            batch: rng.gen_range(1usize..64),
+            ..PolicySpec::default()
+        });
+    }
+    exp
+}
+
+/// A short string of arbitrary printable-ish characters (including
+/// grammar separators, digits, unicode) for feeding the parsers.
+fn random_junk(rng: &mut StdRng) -> String {
+    let alphabet: Vec<char> = "abcmox:+,.-_019 {}[]\"\\/λ∞".chars().collect();
+    (0..rng.gen_range(0usize..12))
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -75,8 +167,8 @@ proptest! {
                 .map(|_| Box::new(Aimd::new()) as Box<dyn CongestionControl>)
                 .collect::<Vec<_>>()
         };
-        let serial = SweepRunner::with_threads(1).run(&spec, "aimd", &factory);
-        let parallel = SweepRunner::with_threads(3).run(&spec, "aimd", &factory);
+        let serial = SweepRunner::with_threads(1).run_factory(&spec, "aimd", &factory);
+        let parallel = SweepRunner::with_threads(3).run_factory(&spec, "aimd", &factory);
         prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
     }
 
@@ -132,9 +224,9 @@ proptest! {
             ..CompetitionSpec::quick()
         };
         let serial = SweepRunner::with_threads(1)
-            .run_competition(&spec, "mix", &BaselineContenders);
+            .run_competition_factory(&spec, "mix", &BaselineContenders);
         let parallel = SweepRunner::with_threads(3)
-            .run_competition(&spec, "mix", &BaselineContenders);
+            .run_competition_factory(&spec, "mix", &BaselineContenders);
         prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
     }
 
@@ -224,6 +316,61 @@ proptest! {
             prop_assert_eq!(batched[r].1.to_bits(), lp.to_bits());
             prop_assert_eq!(means[r].to_bits(), pol.mean_action(obs.row(r)).to_bits());
         }
+    }
+
+    /// Serde round trip is the identity over randomized experiment
+    /// documents: parse(serialize(spec)) == spec, and the canonical
+    /// JSON form is a fixed point. The generator covers both workload
+    /// kinds, every trace shape/load family, duels and staircases,
+    /// every mocc label form, and optional policy sections.
+    #[test]
+    fn experiment_spec_round_trip_is_identity(seed in 0u64..1_000_000) {
+        let exp = random_experiment(seed);
+        let json = exp.to_canonical_json();
+        let back = ExperimentSpec::from_json(&json);
+        prop_assert!(back.is_ok(), "round trip failed: {:?}\n{json}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &exp);
+        prop_assert_eq!(back.to_canonical_json(), json);
+    }
+
+    /// Every registry name and every `mocc:` form parses through the
+    /// shared grammar and resolves against the built-in registry.
+    #[test]
+    fn every_registry_name_and_mocc_form_parses(t in 0.0f64..1.0, l in 0.0f64..1.0) {
+        let reg = SchemeRegistry::builtin();
+        for name in reg.names() {
+            prop_assert!(reg.parse(name).is_ok(), "{name}");
+        }
+        for label in ["mocc", "mocc:thr", "mocc:lat", "mocc:bal"] {
+            prop_assert!(reg.parse(label).is_ok(), "{label}");
+        }
+        // Any non-degenerate weight triple is a valid mocc label.
+        let label = format!("mocc:{t},{l},1");
+        let spec = reg.parse(&label);
+        prop_assert!(spec.is_ok(), "{label}: {:?}", spec.err());
+        let spec = spec.unwrap();
+        prop_assert_eq!(spec.label(), label.as_str());
+    }
+
+    /// Malformed inputs yield typed `SpecError`s, never panics: junk
+    /// scheme labels, junk mix labels, and junk JSON documents all
+    /// come back as `Err`.
+    #[test]
+    fn malformed_specs_error_instead_of_panicking(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let junk = random_junk(&mut rng);
+        // Parsers must return (not panic) on arbitrary input...
+        let _ = SchemeSpec::parse(&junk);
+        let _ = ContenderMix::parse(&junk);
+        let _ = TraceShape::parse(&junk);
+        let _ = FlowLoad::parse(&junk);
+        let _ = ExperimentSpec::from_json(&junk);
+        // ... and recognizably malformed labels are always errors.
+        prop_assert!(SchemeSpec::parse(&format!("mocc:{junk},x")).is_err());
+        prop_assert!(ContenderMix::parse(&format!("melee:{junk}")).is_err());
+        let doc = format!("{{\"kind\":\"sweep\",\"name\":\"x\",\"scheme\":17,\"junk\":{junk:?}}}");
+        prop_assert!(ExperimentSpec::from_json(&doc).is_err());
     }
 
     /// Eq. 2 rewards are bounded by [0, 1] for in-range objectives.
