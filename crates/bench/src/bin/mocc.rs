@@ -2,9 +2,11 @@
 //! experiments end to end, no recompilation.
 //!
 //! ```text
-//! mocc run <spec.json> [--threads N] [--batch N] [--out FILE]
+//! mocc run <spec.json> [--threads N] [--batch N] [--out FILE] [--cache] [--cache-dir DIR]
 //! mocc validate <spec.json>...
 //! mocc list-schemes
+//! mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
+//! mocc serve [--cache-dir DIR] [--socket PATH] [--threads N]
 //! ```
 //!
 //! `run` loads an [`ExperimentSpec`] document (see `docs/SPECS.md`),
@@ -12,29 +14,58 @@
 //! `mocc` schemes, whose policy the spec's `policy` section pins
 //! reproducibly — and writes the canonical-JSON report to stdout (or
 //! `--out`). The report is byte-identical for any `--threads` value.
+//! With `--cache` the run is memoized per cell through the
+//! content-addressed result store (see `docs/CACHING.md`): cells seen
+//! before are served from disk, only missing cells are simulated, and
+//! the report bytes are identical either way.
 //!
 //! `validate` checks documents without running anything; every
 //! problem is a typed [`SpecError`] naming the offending label or
 //! field. `list-schemes` prints the scheme vocabulary and the label
-//! grammar.
+//! grammar. `cache` inspects and maintains the store; `serve` answers
+//! spec requests over a line-delimited JSON protocol (stdin/stdout,
+//! or a Unix socket with `--socket`), sharing one store across
+//! clients.
+//!
+//! [`SpecError`]: mocc_eval::SpecError
 
 use mocc_eval::{ExperimentSpec, SchemeRegistry, SweepRunner};
-use std::path::Path;
+use mocc_store::ResultStore;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 mocc — run declarative MOCC experiment specs (docs/SPECS.md)
 
 USAGE:
-    mocc run <spec.json> [--threads N] [--batch N] [--out FILE]
+    mocc run <spec.json> [--threads N] [--batch N] [--out FILE] [--cache] [--cache-dir DIR]
     mocc validate <spec.json>...
     mocc list-schemes
+    mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
+    mocc serve [--cache-dir DIR] [--socket PATH] [--threads N]
 
 OPTIONS (run):
     --threads N   worker threads (default: MOCC_SWEEP_THREADS or all cores)
     --batch N     override the policy section's inference batch size
     --out FILE    write the canonical-JSON report to FILE instead of stdout
+    --cache       memoize cells through the result store (docs/CACHING.md)
+    --cache-dir DIR  store location (implies --cache; default:
+                     $MOCC_CACHE_DIR or target/mocc-cache/store)
+
+OPTIONS (cache gc):
+    --older-than-days N  also drop entries untouched for more than N days
+
+OPTIONS (serve):
+    --socket PATH  accept connections on a Unix socket instead of stdin
 ";
+
+/// Environment variable naming the default store directory.
+const CACHE_DIR_ENV: &str = "MOCC_CACHE_DIR";
+/// Fallback store directory (relative to the working directory).
+const DEFAULT_CACHE_DIR: &str = "target/mocc-cache/store";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +73,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list-schemes") => cmd_list_schemes(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -74,6 +107,25 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
                         .clone(),
                 )
             }
+            "--cache" => opts.cache = true,
+            "--cache-dir" => {
+                opts.cache = true;
+                opts.cache_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--cache-dir needs a directory path".to_string())?
+                        .clone(),
+                )
+            }
+            "--older-than-days" => {
+                opts.older_than_days = Some(parse_count(&mut it, "--older-than-days")? as u64)
+            }
+            "--socket" => {
+                opts.socket = Some(
+                    it.next()
+                        .ok_or_else(|| "--socket needs a path".to_string())?
+                        .clone(),
+                )
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}\n\n{USAGE}"))
             }
@@ -88,6 +140,42 @@ struct Options {
     threads: Option<usize>,
     batch: Option<usize>,
     out: Option<String>,
+    cache: bool,
+    cache_dir: Option<String>,
+    older_than_days: Option<u64>,
+    socket: Option<String>,
+}
+
+impl Options {
+    /// The store root: `--cache-dir`, else `$MOCC_CACHE_DIR`, else the
+    /// in-repo default.
+    fn store_root(&self) -> PathBuf {
+        match &self.cache_dir {
+            Some(dir) => PathBuf::from(dir),
+            None => std::env::var(CACHE_DIR_ENV)
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from(DEFAULT_CACHE_DIR)),
+        }
+    }
+
+    fn open_store(&self) -> Result<ResultStore, String> {
+        let root = self.store_root();
+        let store = ResultStore::open(&root).map_err(|e| format!("{}: {e}", root.display()))?;
+        if store.repaired_tail() {
+            eprintln!(
+                "[mocc] cache: repaired a half-written ledger line in {}",
+                root.display()
+            );
+        }
+        Ok(store)
+    }
+
+    fn runner(&self) -> SweepRunner {
+        match self.threads {
+            Some(n) => SweepRunner::with_threads(n),
+            None => SweepRunner::auto(),
+        }
+    }
 }
 
 fn parse_count<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<usize, String> {
@@ -100,12 +188,24 @@ fn parse_count<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Res
         .ok_or_else(|| format!("{flag} {raw:?} is not a positive integer"))
 }
 
+/// Unix seconds — the only place in the pipeline that reads a clock;
+/// libraries take timestamps as arguments to stay deterministic.
+fn now_ts() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 fn load_spec(path: &str) -> Result<ExperimentSpec, String> {
     ExperimentSpec::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (positional, opts) = split_options(args)?;
+    if opts.socket.is_some() || opts.older_than_days.is_some() {
+        return Err("`mocc run` does not take --socket or --older-than-days".to_string());
+    }
     let &[path] = positional.as_slice() else {
         return Err(format!("`mocc run` takes exactly one spec file\n\n{USAGE}"));
     };
@@ -121,18 +221,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let runner = match opts.threads {
-        Some(n) => SweepRunner::with_threads(n),
-        None => SweepRunner::auto(),
-    };
+    let runner = opts.runner();
     eprintln!(
         "[mocc] {}: {} cells over {} worker threads",
         exp.name,
         exp.cell_count(),
         runner.threads()
     );
-    let report = mocc_core::run_experiment(&runner, &exp).map_err(|e| format!("{path}: {e}"))?;
-    let json = report.to_canonical_json();
+    let json = if opts.cache {
+        let store = opts.open_store()?;
+        let (report, stats) = mocc_core::run_experiment_cached(&runner, &exp, &store, now_ts())
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "[mocc] cache: {} hits, {} misses ({})",
+            stats.hits,
+            stats.misses,
+            store.root().display()
+        );
+        report.to_canonical_json()
+    } else {
+        mocc_core::run_experiment(&runner, &exp)
+            .map_err(|e| format!("{path}: {e}"))?
+            .to_canonical_json()
+    };
     match &opts.out {
         Some(out) => std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?,
         None => println!("{json}"),
@@ -145,7 +256,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     if positional.is_empty() {
         return Err(format!("`mocc validate` takes spec files\n\n{USAGE}"));
     }
-    if opts.threads.is_some() || opts.batch.is_some() || opts.out.is_some() {
+    if opts.threads.is_some() || opts.batch.is_some() || opts.out.is_some() || opts.cache {
         return Err("`mocc validate` takes no options".to_string());
     }
     let registry = SchemeRegistry::builtin();
@@ -192,4 +303,251 @@ fn cmd_list_schemes(args: &[String]) -> Result<(), String> {
     println!("  mocc:w1,w2,w3  explicit (thr, lat, loss) weights, normalized");
     println!("\ncompetition mixes: duel:<a>+<b>[+…] | stair:<scheme>:<n>x<phase_s>");
     Ok(())
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    let &[action] = positional.as_slice() else {
+        return Err(format!(
+            "`mocc cache` takes one action: stats, verify, or gc\n\n{USAGE}"
+        ));
+    };
+    let store = opts.open_store()?;
+    match action {
+        "stats" => {
+            let s = store.stats().map_err(|e| e.to_string())?;
+            println!("store:        {}", store.root().display());
+            println!("objects:      {} ({} bytes)", s.objects, s.object_bytes);
+            println!("keys:         {}", s.keys);
+            println!(
+                "ledger:       {} puts, {} hits, {} misses",
+                s.puts, s.hits, s.misses
+            );
+            if s.bad_ledger_lines > 0 || s.truncated_ledger_tail {
+                println!(
+                    "damage:       {} bad lines, truncated tail: {}",
+                    s.bad_ledger_lines, s.truncated_ledger_tail
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            for issue in &report.issues {
+                eprintln!("issue: {issue}");
+            }
+            if report.is_clean() {
+                println!(
+                    "{}: clean ({} objects verified)",
+                    store.root().display(),
+                    report.objects_checked
+                );
+                Ok(())
+            } else {
+                Err(format!(
+                    "{}: {} issues found ({} objects verified); corrupt entries \
+                     degrade to recomputation — run `mocc cache gc` to drop them",
+                    store.root().display(),
+                    report.issues.len(),
+                    report.objects_checked
+                ))
+            }
+        }
+        "gc" => {
+            let before = opts
+                .older_than_days
+                .map(|d| now_ts().saturating_sub(d * 86_400));
+            let report = store.gc(before).map_err(|e| e.to_string())?;
+            println!(
+                "{}: kept {} objects, removed {}, dropped {} ledger lines",
+                store.root().display(),
+                report.kept,
+                report.removed_objects,
+                report.removed_ledger_lines
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache action {other:?}: expected stats, verify, or gc"
+        )),
+    }
+}
+
+// ---- mocc serve -------------------------------------------------------
+
+/// One store-backed daemon serving spec requests over a line-delimited
+/// JSON protocol. Each request is one JSON object per line:
+///
+/// ```text
+/// {"op":"ping"}
+/// {"op":"stats"}
+/// {"op":"run","spec":{...ExperimentSpec...}}
+/// {"op":"run","path":"examples/specs/sweep_cubic.json"}
+/// {"op":"shutdown"}
+/// ```
+///
+/// and each response one JSON object per line: `{"ok":true,...}` with
+/// the canonical report under `"report"` plus `"hits"`/`"misses"`, or
+/// `{"ok":false,"error":"..."}`. Malformed requests answer an error
+/// and keep the session alive; `shutdown` ends the daemon.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "`mocc serve` takes no positional arguments\n\n{USAGE}"
+        ));
+    }
+    let store = opts.open_store()?;
+    let runner = opts.runner();
+    match &opts.socket {
+        None => {
+            eprintln!(
+                "[mocc] serve: reading ops from stdin, store {}",
+                store.root().display()
+            );
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_session(stdin.lock(), stdout.lock(), &runner, &store)?;
+            Ok(())
+        }
+        Some(path) => {
+            use std::os::unix::net::UnixListener;
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "[mocc] serve: listening on {path}, store {}",
+                store.root().display()
+            );
+            for conn in listener.incoming() {
+                let conn = conn.map_err(|e| e.to_string())?;
+                let reader = std::io::BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+                let shutdown = serve_session(reader, conn, &runner, &store)?;
+                if shutdown {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+            Ok(())
+        }
+    }
+}
+
+/// Serves one client session; returns true when the client asked the
+/// daemon to shut down (not merely disconnected).
+fn serve_session(
+    reader: impl BufRead,
+    mut writer: impl Write,
+    runner: &SweepRunner,
+    store: &ResultStore,
+) -> Result<bool, String> {
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = serve_one(&line, runner, store);
+        writeln!(writer, "{response}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    let mut map = BTreeMap::new();
+    for (k, v) in fields {
+        map.insert(k.to_string(), v);
+    }
+    Value::Obj(map)
+}
+
+fn error_response(msg: &str) -> String {
+    serde_json::to_string(&obj(vec![
+        ("error", Value::Str(msg.to_string())),
+        ("ok", Value::Bool(false)),
+    ]))
+    .expect("response serializes")
+}
+
+/// Handles one protocol line; returns `(response line, shutdown?)`.
+fn serve_one(line: &str, runner: &SweepRunner, store: &ResultStore) -> (String, bool) {
+    let request: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response(&format!("bad request JSON: {e}")), false),
+    };
+    let Value::Obj(request) = request else {
+        return (error_response("request must be a JSON object"), false);
+    };
+    let op = match request.get("op") {
+        Some(Value::Str(op)) => op.as_str(),
+        _ => return (error_response("request needs a string `op` field"), false),
+    };
+    match op {
+        "ping" => (
+            serde_json::to_string(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("ping".to_string())),
+            ]))
+            .expect("response serializes"),
+            false,
+        ),
+        "shutdown" => (
+            serde_json::to_string(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("shutdown".to_string())),
+            ]))
+            .expect("response serializes"),
+            true,
+        ),
+        "stats" => match store.stats() {
+            Err(e) => (error_response(&e.to_string()), false),
+            Ok(s) => (
+                serde_json::to_string(&obj(vec![
+                    ("hits", s.hits.to_value()),
+                    ("keys", s.keys.to_value()),
+                    ("misses", s.misses.to_value()),
+                    ("objects", s.objects.to_value()),
+                    ("ok", Value::Bool(true)),
+                    ("puts", s.puts.to_value()),
+                ]))
+                .expect("response serializes"),
+                false,
+            ),
+        },
+        "run" => {
+            let exp = match (request.get("spec"), request.get("path")) {
+                (Some(spec), None) => {
+                    ExperimentSpec::from_value(spec).map_err(|e| format!("bad spec: {e}"))
+                }
+                (None, Some(Value::Str(path))) => {
+                    ExperimentSpec::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+                }
+                _ => Err("run needs exactly one of `spec` (inline) or `path`".to_string()),
+            };
+            let result = exp.and_then(|exp| {
+                mocc_core::run_experiment_cached(runner, &exp, store, now_ts())
+                    .map_err(|e| e.to_string())
+            });
+            match result {
+                Err(e) => (error_response(&e), false),
+                Ok((report, stats)) => {
+                    let report_value: Value = serde_json::from_str(&report.to_canonical_json())
+                        .expect("canonical report parses");
+                    (
+                        serde_json::to_string(&obj(vec![
+                            ("hits", stats.hits.to_value()),
+                            ("misses", stats.misses.to_value()),
+                            ("ok", Value::Bool(true)),
+                            ("report", report_value),
+                        ]))
+                        .expect("response serializes"),
+                        false,
+                    )
+                }
+            }
+        }
+        other => (error_response(&format!("unknown op {other:?}")), false),
+    }
 }

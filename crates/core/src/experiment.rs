@@ -14,9 +14,10 @@ use crate::agent::MoccAgent;
 use crate::batch_eval::{preference_from_spec, BatchMoccEvaluator};
 use crate::config::MoccConfig;
 use mocc_eval::{
-    ExperimentSpec, PolicySpec, SchemeKind, SchemeRegistry, SchemeSpec, SpecError, SweepReport,
-    SweepRunner, Workload,
+    CacheStats, ExperimentSpec, PolicyIdentity, PolicySpec, SchemeKind, SchemeRegistry, SchemeSpec,
+    SpecError, SweepReport, SweepRunner, Workload,
 };
+use mocc_store::ResultStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -104,24 +105,122 @@ pub fn run_experiment_in(
             Ok(runner.run_cells(&spec, &exp.name, &evaluator))
         }
         Workload::Competition(_) => {
-            let builtin = SchemeRegistry::builtin();
-            for label in exp.scheme_labels() {
-                let spec = SchemeSpec::parse(&label)?;
-                if !spec.is_mocc() && builtin.resolve(&spec).is_err() {
-                    return Err(SpecError::InvalidSpec {
-                        reason: format!(
-                            "scheme {label:?} is registry-custom; competitions with \
-                             `mocc` flows resolve non-MOCC contenders through the \
-                             built-in vocabulary only"
-                        ),
-                    });
-                }
-            }
+            check_builtin_contenders(exp)?;
             let evaluator = evaluator_from_policy(policy, None)?;
             let spec = exp
                 .to_competition_spec()
                 .expect("competition workload lowers");
             Ok(runner.run_competition_cells(&spec, &exp.name, &evaluator))
+        }
+    }
+}
+
+/// Competitions mixing `mocc` flows with registry schemes resolve the
+/// non-MOCC contenders (and the `tcp_baseline`) through the built-in
+/// vocabulary only — the batched evaluator has no custom registry.
+fn check_builtin_contenders(exp: &ExperimentSpec) -> Result<(), SpecError> {
+    let builtin = SchemeRegistry::builtin();
+    for label in exp.scheme_labels() {
+        let spec = SchemeSpec::parse(&label)?;
+        if !spec.is_mocc() && builtin.resolve(&spec).is_err() {
+            return Err(SpecError::InvalidSpec {
+                reason: format!(
+                    "scheme {label:?} is registry-custom; competitions with \
+                     `mocc` flows resolve non-MOCC contenders through the \
+                     built-in vocabulary only"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The SHA-256 hex digest of an agent's canonical JSON artifact — the
+/// **policy identity** inside every cache key its cells are stored
+/// under. Serialization is canonical (sorted keys, shortest
+/// round-trip floats), so the digest is stable across machines and
+/// identical for a freshly seeded agent and the same agent reloaded
+/// from disk.
+pub fn policy_digest(agent: &MoccAgent) -> String {
+    mocc_store::sha256_hex(agent.to_json().as_bytes())
+}
+
+/// The memoizing counterpart of [`run_experiment`]: serves every cell
+/// it can from `store` and simulates only the misses, with the merged
+/// report byte-identical to an uncached run. Policy-free specs
+/// delegate to [`SweepRunner::run_cached`]; `mocc` specs materialize
+/// the agent first and key their cells by its [`policy_digest`], so a
+/// retrained or edited model can never be served another model's
+/// cells. `ts` is the caller's ledger timestamp — libraries never
+/// read a clock.
+pub fn run_experiment_cached(
+    runner: &SweepRunner,
+    exp: &ExperimentSpec,
+    store: &ResultStore,
+    ts: u64,
+) -> Result<(SweepReport, CacheStats), SpecError> {
+    run_experiment_cached_in(runner, exp, &SchemeRegistry::builtin(), store, ts)
+}
+
+/// [`run_experiment_cached`] against a custom (pluggable) registry;
+/// same restrictions as [`run_experiment_in`].
+pub fn run_experiment_cached_in(
+    runner: &SweepRunner,
+    exp: &ExperimentSpec,
+    registry: &SchemeRegistry,
+    store: &ResultStore,
+    ts: u64,
+) -> Result<(SweepReport, CacheStats), SpecError> {
+    exp.validate_in(registry)?;
+    if !exp.needs_policy() {
+        return runner.run_cached_in(exp, registry, store, ts);
+    }
+    let policy = exp.policy.as_ref().expect("validate_in requires a policy");
+    let agent = agent_from_policy(policy)?;
+    let identity = PolicyIdentity {
+        digest: policy_digest(&agent),
+        preference: policy.preference.label(),
+        initial_rate_frac: policy.initial_rate_frac,
+    };
+    match &exp.workload {
+        Workload::Sweep(w) => {
+            let pref = match w.scheme.kind() {
+                SchemeKind::Mocc(p) => preference_from_spec(p),
+                SchemeKind::MoccDefault => preference_from_spec(&policy.preference),
+                SchemeKind::Registry => unreachable!("needs_policy implies a mocc scheme"),
+            };
+            let evaluator = BatchMoccEvaluator::new(&agent, pref, policy.initial_rate_frac)
+                .with_batch_size(policy.batch);
+            let spec = exp.to_sweep_spec().expect("sweep workload lowers");
+            Ok(runner.run_cells_cached(
+                &spec,
+                &exp.name,
+                w.scheme.label(),
+                &evaluator,
+                store,
+                Some(&identity),
+                ts,
+            ))
+        }
+        Workload::Competition(_) => {
+            check_builtin_contenders(exp)?;
+            let evaluator = BatchMoccEvaluator::new(
+                &agent,
+                preference_from_spec(&policy.preference),
+                policy.initial_rate_frac,
+            )
+            .with_batch_size(policy.batch);
+            let spec = exp
+                .to_competition_spec()
+                .expect("competition workload lowers");
+            Ok(runner.run_competition_cells_cached(
+                &spec,
+                &exp.name,
+                &evaluator,
+                store,
+                Some(&identity),
+                ts,
+            ))
         }
     }
 }

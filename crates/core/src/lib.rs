@@ -53,7 +53,10 @@ pub use aurora::{AuroraAgent, AuroraBank, AuroraCc};
 pub use batch_eval::{preference_from_spec, BatchMoccEvaluator};
 pub use config::MoccConfig;
 pub use env::{MoccEnv, ScenarioSource};
-pub use experiment::{agent_from_policy, evaluator_from_policy, run_experiment, run_experiment_in};
+pub use experiment::{
+    agent_from_policy, evaluator_from_policy, policy_digest, run_experiment, run_experiment_cached,
+    run_experiment_cached_in, run_experiment_in,
+};
 pub use online::{convergence_iter, AdaptationPoint, OnlineAdapter};
 pub use preference::{landmark_count, landmarks, nearest, Preference};
 pub use prefnet::{PrefNet, PrefNetScratch};

@@ -1,0 +1,333 @@
+//! Cell-level memoization: stable cache keys and the cached execution
+//! path.
+//!
+//! Every cell report in this crate is deterministic and canonical-JSON
+//! (byte-identical across thread counts and batch sizes), so a cell is
+//! perfectly memoizable: simulate it once, store the canonical
+//! [`CellReport`] blob, and serve every later request for the same
+//! cell from disk. This module derives the **cache key** — the
+//! SHA-256 of a canonical-JSON *request document* capturing everything
+//! that determines the cell's bytes — and implements the cached
+//! counterpart of the sharded chunked executor.
+//!
+//! ## Key derivation (frozen; see `docs/CACHING.md`)
+//!
+//! The request document is a canonical-JSON object with schema tag
+//! [`CELL_SCHEMA`] containing, for every cell: its index, derived
+//! seed, scenario coordinates (bandwidth, one-way delay, queue),
+//! global knobs (duration, MSS, monitor-interval convention), the
+//! workload-specific axes (loss/shape/load + scheme label for sweeps;
+//! mix/lineup/fairness parameters for competitions), and the policy
+//! identity (`null` for policy-free schemes). Notably **excluded**:
+//! the experiment *name* (it only labels the report), the worker
+//! thread count, and the inference batch size — the runner's
+//! byte-identity contract proves none of them can change a cell's
+//! bytes. Any semantic change — a different seed, axis value, scheme,
+//! or policy artifact — lands in the document and produces a
+//! different key.
+//!
+//! ## Hit discipline
+//!
+//! A blob served by the store has already passed content-digest
+//! verification; this layer additionally re-parses it as a
+//! [`CellReport`], requires the canonical re-serialization to be a
+//! byte-level fixed point, and requires the report's `index` to match
+//! the requested cell. Anything less is demoted to a miss and
+//! recomputed — a cache can cost time, never correctness.
+
+use crate::competition::CompetitionCell;
+use crate::report::CellReport;
+use crate::runner::run_chunked;
+use crate::spec::SweepCell;
+use crate::{CompetitionSpec, SweepSpec};
+use mocc_store::{sha256_hex, ResultStore};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Schema/version tag baked into every cache key. Bump it whenever the
+/// report schema or any simulation semantics change: old blobs then
+/// miss (and are eventually collected by `gc`) instead of being served
+/// against a different codebase.
+pub const CELL_SCHEMA: &str = "mocc-cell-v1";
+
+/// Identity of the policy serving a cell's `mocc` flows — the part of
+/// the cache key that changes when the model does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyIdentity {
+    /// SHA-256 hex digest of the agent's canonical JSON artifact
+    /// (`mocc_core::policy_digest`); retraining or editing the model
+    /// changes every key it served.
+    pub digest: String,
+    /// The policy section's default preference label (serves bare
+    /// `mocc` labels; explicit `mocc:<pref>` schemes also carry the
+    /// preference in their label).
+    pub preference: String,
+    /// Flow 0's initial rate as a fraction of the cell's peak
+    /// bandwidth.
+    pub initial_rate_frac: f64,
+}
+
+impl PolicyIdentity {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("digest".to_string(), self.digest.to_value());
+        obj.insert("preference".to_string(), self.preference.to_value());
+        obj.insert(
+            "initial_rate_frac".to_string(),
+            self.initial_rate_frac.to_value(),
+        );
+        Value::Obj(obj)
+    }
+}
+
+/// Hit/miss counters of one cached run (the *eval-level* view: a blob
+/// the store served but this layer rejected counts as a miss here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells served from the store.
+    pub hits: u64,
+    /// Cells simulated (and written back).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// True when every cell was served from the store.
+    pub fn all_hits(&self) -> bool {
+        self.misses == 0 && self.hits > 0
+    }
+
+    /// Total cells the run covered.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The shared prefix of every cell request document. (One parameter
+/// per key field, deliberately: adding a semantic input here forces
+/// every caller to thread it through, which is the point.)
+#[allow(clippy::too_many_arguments)]
+fn base_doc(
+    kind: &str,
+    index: u64,
+    seed: u64,
+    bandwidth_mbps: f64,
+    owd_ms: u64,
+    queue_pkts: usize,
+    duration_s: u64,
+    mss_bytes: u32,
+    agent_mi: bool,
+    policy: Option<&PolicyIdentity>,
+) -> BTreeMap<String, Value> {
+    let mut obj = BTreeMap::new();
+    let mut put = |k: &str, v: Value| {
+        obj.insert(k.to_string(), v);
+    };
+    put("schema", Value::Str(CELL_SCHEMA.to_string()));
+    put("kind", Value::Str(kind.to_string()));
+    put("index", index.to_value());
+    put("seed", seed.to_value());
+    put("bandwidth_mbps", bandwidth_mbps.to_value());
+    put("owd_ms", owd_ms.to_value());
+    put("queue_pkts", queue_pkts.to_value());
+    put("duration_s", duration_s.to_value());
+    put("mss_bytes", mss_bytes.to_value());
+    put("agent_mi", agent_mi.to_value());
+    put(
+        "policy",
+        match policy {
+            None => Value::Null,
+            Some(p) => p.to_value(),
+        },
+    );
+    obj
+}
+
+/// Hashes a finished request document into its 64-hex cache key.
+fn doc_key(obj: BTreeMap<String, Value>) -> String {
+    let doc = serde_json::to_string(&Value::Obj(obj)).expect("key document serializes");
+    sha256_hex(doc.as_bytes())
+}
+
+/// The cache key of one classic sweep cell run under `scheme` (a
+/// shared-grammar label) with `spec`'s global knobs.
+pub fn sweep_cell_key(
+    cell: &SweepCell,
+    scheme: &str,
+    spec: &SweepSpec,
+    policy: Option<&PolicyIdentity>,
+) -> String {
+    let mut obj = base_doc(
+        "sweep",
+        cell.index,
+        cell.scenario.seed,
+        cell.bandwidth_mbps,
+        cell.owd_ms,
+        cell.queue_pkts,
+        spec.duration_s,
+        spec.mss_bytes,
+        spec.agent_mi,
+        policy,
+    );
+    obj.insert("loss".to_string(), cell.loss.to_value());
+    obj.insert("shape".to_string(), Value::Str(cell.shape.label()));
+    obj.insert("load".to_string(), Value::Str(cell.load.label()));
+    obj.insert("scheme".to_string(), Value::Str(scheme.to_string()));
+    doc_key(obj)
+}
+
+/// The cache key of one competition cell (the mix, its resolved
+/// lineup, and the fairness parameters all shape the report).
+pub fn competition_cell_key(
+    cell: &CompetitionCell,
+    spec: &CompetitionSpec,
+    policy: Option<&PolicyIdentity>,
+) -> String {
+    let mut obj = base_doc(
+        "competition",
+        cell.index,
+        cell.scenario.seed,
+        cell.bandwidth_mbps,
+        cell.owd_ms,
+        cell.queue_pkts,
+        spec.duration_s,
+        spec.mss_bytes,
+        spec.agent_mi,
+        policy,
+    );
+    obj.insert("mix".to_string(), Value::Str(cell.mix.label()));
+    obj.insert("labels".to_string(), cell.labels.to_value());
+    obj.insert(
+        "tcp_baseline".to_string(),
+        cell.tcp_baseline.clone().to_value(),
+    );
+    obj.insert("fair_jain".to_string(), cell.fair_jain.to_value());
+    obj.insert("fair_sustain_s".to_string(), cell.fair_sustain_s.to_value());
+    doc_key(obj)
+}
+
+/// Serves what it can from the store, simulates the rest through the
+/// usual chunked executor, and writes the fresh blobs back. Store
+/// writes are best-effort: a full disk degrades the cache, never the
+/// run. Returns reports in `cells` order plus the hit/miss counters.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cached_cell_reports<T: Sync + Clone>(
+    cells: &[T],
+    keys: &[String],
+    threads: usize,
+    batch: usize,
+    eval: &(dyn Fn(&[T]) -> Vec<CellReport> + Sync),
+    cell_index: &dyn Fn(&T) -> u64,
+    store: &ResultStore,
+    ts: u64,
+) -> (Vec<CellReport>, CacheStats) {
+    assert_eq!(cells.len(), keys.len(), "one key per cell");
+    let mut out: Vec<Option<CellReport>> = vec![None; cells.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let verified = store.get(key, ts).and_then(|blob| {
+            let report: CellReport = serde_json::from_str(&blob).ok()?;
+            let canonical = serde_json::to_string(&report).expect("report serializes");
+            (canonical == blob && report.index == cell_index(&cells[i])).then_some(report)
+        });
+        match verified {
+            Some(report) => out[i] = Some(report),
+            None => missing.push(i),
+        }
+    }
+    let stats = CacheStats {
+        hits: (cells.len() - missing.len()) as u64,
+        misses: missing.len() as u64,
+    };
+    let miss_cells: Vec<T> = missing.iter().map(|&i| cells[i].clone()).collect();
+    let computed = run_chunked(&miss_cells, threads, batch, eval);
+    for (&slot, report) in missing.iter().zip(computed) {
+        let blob = serde_json::to_string(&report).expect("report serializes");
+        let _ = store.put(&keys[slot], &blob, ts);
+        out[slot] = Some(report);
+    }
+    let reports = out
+        .into_iter()
+        .map(|r| r.expect("every cell resolved"))
+        .collect();
+    (reports, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        let mut s = SweepSpec::single_cell();
+        s.bandwidth_mbps = vec![5.0, 10.0];
+        s.duration_s = 5;
+        s
+    }
+
+    #[test]
+    fn keys_are_64_hex_and_distinct_per_cell() {
+        let s = spec();
+        let keys: Vec<String> = s
+            .expand()
+            .iter()
+            .map(|c| sweep_cell_key(c, "cubic", &s, None))
+            .collect();
+        assert_eq!(keys.len(), 2);
+        assert_ne!(keys[0], keys[1]);
+        for k in &keys {
+            assert_eq!(k.len(), 64);
+            assert!(k.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn every_semantic_input_moves_the_key() {
+        let s = spec();
+        let cell = &s.expand()[0];
+        let base = sweep_cell_key(cell, "cubic", &s, None);
+        // Scheme.
+        assert_ne!(sweep_cell_key(cell, "bbr", &s, None), base);
+        // Global knobs.
+        for mutate in [
+            |s: &mut SweepSpec| s.duration_s += 1,
+            |s: &mut SweepSpec| s.mss_bytes += 1,
+            |s: &mut SweepSpec| s.agent_mi = !s.agent_mi,
+        ] {
+            let mut m = spec();
+            mutate(&mut m);
+            assert_ne!(sweep_cell_key(cell, "cubic", &m, None), base);
+        }
+        // Policy identity (including each field of it).
+        let pol = PolicyIdentity {
+            digest: "d".repeat(64),
+            preference: "bal".to_string(),
+            initial_rate_frac: 0.3,
+        };
+        let with_pol = sweep_cell_key(cell, "mocc", &s, Some(&pol));
+        assert_ne!(with_pol, base);
+        for mutate in [
+            |p: &mut PolicyIdentity| p.digest = "e".repeat(64),
+            |p: &mut PolicyIdentity| p.preference = "thr".to_string(),
+            |p: &mut PolicyIdentity| p.initial_rate_frac = 0.5,
+        ] {
+            let mut p = pol.clone();
+            mutate(&mut p);
+            assert_ne!(sweep_cell_key(cell, "mocc", &s, Some(&p)), with_pol);
+        }
+        // And the derivation itself is stable (same inputs, same key).
+        assert_eq!(sweep_cell_key(cell, "cubic", &s, None), base);
+    }
+
+    #[test]
+    fn experiment_name_is_not_part_of_the_key() {
+        // The key is derived from cells and knobs only — nothing in
+        // the signature even accepts a name. This test documents the
+        // decision: two experiments differing only in `name` share
+        // every cached cell.
+        let s = spec();
+        let cell = &s.expand()[0];
+        assert_eq!(
+            sweep_cell_key(cell, "cubic", &s, None),
+            sweep_cell_key(&s.expand()[0].clone(), "cubic", &s, None)
+        );
+    }
+}

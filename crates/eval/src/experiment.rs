@@ -430,7 +430,7 @@ impl Serialize for PolicySpec {
         obj.insert("config".to_string(), self.config.to_value());
         obj.insert(
             "preference".to_string(),
-            Value::Str(pref_label(&self.preference)),
+            Value::Str(self.preference.label()),
         );
         obj.insert(
             "initial_rate_frac".to_string(),
@@ -438,18 +438,6 @@ impl Serialize for PolicySpec {
         );
         obj.insert("batch".to_string(), self.batch.to_value());
         Value::Obj(obj)
-    }
-}
-
-/// The canonical text form of a preference spec (the `<pref>` part of
-/// a `mocc:<pref>` label).
-fn pref_label(pref: &crate::MoccPrefSpec) -> String {
-    use crate::MoccPrefSpec;
-    match pref {
-        MoccPrefSpec::Throughput => "thr".to_string(),
-        MoccPrefSpec::Latency => "lat".to_string(),
-        MoccPrefSpec::Balanced => "bal".to_string(),
-        MoccPrefSpec::Weights([t, l, s]) => format!("{t},{l},{s}"),
     }
 }
 

@@ -65,6 +65,7 @@
 //! );
 //! ```
 
+pub mod cache;
 pub mod competition;
 pub mod experiment;
 pub mod report;
@@ -72,6 +73,7 @@ pub mod runner;
 pub mod scheme;
 pub mod spec;
 
+pub use cache::{competition_cell_key, sweep_cell_key, CacheStats, PolicyIdentity, CELL_SCHEMA};
 pub use competition::{
     baseline_result, competition_report, competition_report_with_baseline, contender_by_name,
     run_competition_cell, BaselineContenders, CompetitionCell, CompetitionEvaluator,

@@ -21,6 +21,9 @@
 //!    silently falling back),
 //! 3. [`std::thread::available_parallelism`].
 
+use crate::cache::{
+    cached_cell_reports, competition_cell_key, sweep_cell_key, CacheStats, PolicyIdentity,
+};
 use crate::competition::{
     run_competition_cell, CompetitionCell, CompetitionEvaluator, CompetitionSpec, ContenderFactory,
 };
@@ -30,6 +33,7 @@ use crate::scheme::{SchemeCtx, SchemeRegistry, SchemeSpec, SpecError};
 use crate::spec::{SweepCell, SweepSpec};
 use mocc_netsim::cc::CongestionControl;
 use mocc_netsim::Simulator;
+use mocc_store::ResultStore;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -184,7 +188,7 @@ impl CompetitionEvaluator for FactoryCompetitionEvaluator<'_> {
 /// queue, slotting results back by item index. Scheduling order can
 /// never change the output vector — the byte-identity foundation both
 /// the classic sweep and the competition sweep build on.
-fn run_chunked<T: Sync, R: Send>(
+pub(crate) fn run_chunked<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     batch: usize,
@@ -398,6 +402,153 @@ impl SweepRunner {
             evaluator.eval_batch(chunk)
         });
         SweepReport::new(controller, spec.seed, spec.duration_s, reports)
+    }
+
+    /// The memoizing counterpart of [`SweepRunner::run`]: validates
+    /// and runs a declarative [`ExperimentSpec`], serving every cell
+    /// it can from `store` and simulating only the misses. The merged
+    /// report is byte-identical to an uncached run — hits are
+    /// canonical blobs of exactly the reports a cold run would
+    /// compute, and assembly goes through the same index-sorted
+    /// [`SweepReport::new`]. `ts` is the caller's timestamp for the
+    /// store's audit ledger (the library never reads a clock). `mocc`
+    /// schemes come back as [`SpecError::NeedsPolicyEngine`], exactly
+    /// like [`SweepRunner::run`] — use
+    /// `mocc_core::run_experiment_cached` for those.
+    pub fn run_cached(
+        &self,
+        exp: &ExperimentSpec,
+        store: &ResultStore,
+        ts: u64,
+    ) -> Result<(SweepReport, CacheStats), SpecError> {
+        self.run_cached_in(exp, &SchemeRegistry::builtin(), store, ts)
+    }
+
+    /// [`SweepRunner::run_cached`] against a custom (pluggable)
+    /// registry. Note the key does not name the registry: two
+    /// registries binding the same label to different behavior would
+    /// share cache entries — point them at separate stores.
+    pub fn run_cached_in(
+        &self,
+        exp: &ExperimentSpec,
+        registry: &SchemeRegistry,
+        store: &ResultStore,
+        ts: u64,
+    ) -> Result<(SweepReport, CacheStats), SpecError> {
+        exp.validate_in(registry)?;
+        if exp.needs_policy() {
+            let label = exp
+                .scheme_labels()
+                .into_iter()
+                .find(|l| SchemeSpec::parse(l).is_ok_and(|s| s.is_mocc()))
+                .expect("needs_policy implies a mocc label");
+            return Err(SpecError::NeedsPolicyEngine { label });
+        }
+        match &exp.workload {
+            Workload::Sweep(w) => {
+                let spec = exp.to_sweep_spec().expect("sweep workload lowers");
+                let factory = RegistryFactory {
+                    registry,
+                    scheme: &w.scheme,
+                };
+                let evaluator = FactoryEvaluator { factory: &factory };
+                Ok(self.run_cells_cached(
+                    &spec,
+                    &exp.name,
+                    w.scheme.label(),
+                    &evaluator,
+                    store,
+                    None,
+                    ts,
+                ))
+            }
+            Workload::Competition(_) => {
+                let spec = exp
+                    .to_competition_spec()
+                    .expect("competition workload lowers");
+                let factory = RegistryContenders { registry };
+                let evaluator = FactoryCompetitionEvaluator { factory: &factory };
+                Ok(
+                    self.run_competition_cells_cached(
+                        &spec, &exp.name, &evaluator, store, None, ts,
+                    ),
+                )
+            }
+        }
+    }
+
+    /// The memoizing counterpart of [`SweepRunner::run_cells`]:
+    /// serves hits from `store`, simulates only missing cells (still
+    /// chunked by [`CellEvaluator::batch_size`]), writes fresh blobs
+    /// back, and assembles the same byte-identical report. `scheme`
+    /// is the shared-grammar label keying the cells (the report's
+    /// `controller` name deliberately is not part of the key); pass
+    /// the policy identity whenever the evaluator serves `mocc`
+    /// flows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_cells_cached(
+        &self,
+        spec: &SweepSpec,
+        controller: &str,
+        scheme: &str,
+        evaluator: &dyn CellEvaluator,
+        store: &ResultStore,
+        policy: Option<&PolicyIdentity>,
+        ts: u64,
+    ) -> (SweepReport, CacheStats) {
+        let cells = spec.expand();
+        let keys: Vec<String> = cells
+            .iter()
+            .map(|c| sweep_cell_key(c, scheme, spec, policy))
+            .collect();
+        let (reports, stats) = cached_cell_reports(
+            &cells,
+            &keys,
+            self.threads,
+            evaluator.batch_size(),
+            &|chunk| evaluator.eval_batch(chunk),
+            &|c: &SweepCell| c.index,
+            store,
+            ts,
+        );
+        (
+            SweepReport::new(controller, spec.seed, spec.duration_s, reports),
+            stats,
+        )
+    }
+
+    /// The memoizing counterpart of
+    /// [`SweepRunner::run_competition_cells`]; same contract as
+    /// [`SweepRunner::run_cells_cached`] (competition cells carry
+    /// their scheme lineup themselves, so no separate label).
+    pub fn run_competition_cells_cached(
+        &self,
+        spec: &CompetitionSpec,
+        controller: &str,
+        evaluator: &dyn CompetitionEvaluator,
+        store: &ResultStore,
+        policy: Option<&PolicyIdentity>,
+        ts: u64,
+    ) -> (SweepReport, CacheStats) {
+        let cells = spec.expand();
+        let keys: Vec<String> = cells
+            .iter()
+            .map(|c| competition_cell_key(c, spec, policy))
+            .collect();
+        let (reports, stats) = cached_cell_reports(
+            &cells,
+            &keys,
+            self.threads,
+            evaluator.batch_size(),
+            &|chunk| evaluator.eval_batch(chunk),
+            &|c: &CompetitionCell| c.index,
+            store,
+            ts,
+        );
+        (
+            SweepReport::new(controller, spec.seed, spec.duration_s, reports),
+            stats,
+        )
     }
 
     /// Convenience shim: runs a named `mocc-cc` baseline over the

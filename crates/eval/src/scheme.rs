@@ -157,6 +157,19 @@ impl MoccPrefSpec {
         }
     }
 
+    /// The canonical text form (the `<pref>` part of a `mocc:<pref>`
+    /// label): `thr`/`lat`/`bal` shorthands, `t,l,s` for raw weights.
+    /// Used by spec serialization and the cache-key derivation, so the
+    /// form is frozen.
+    pub fn label(&self) -> String {
+        match self {
+            MoccPrefSpec::Throughput => "thr".to_string(),
+            MoccPrefSpec::Latency => "lat".to_string(),
+            MoccPrefSpec::Balanced => "bal".to_string(),
+            MoccPrefSpec::Weights([t, l, s]) => format!("{t},{l},{s}"),
+        }
+    }
+
     /// The raw weights as `(thr, lat, loss)`, shorthands expanded to
     /// the paper's example vectors (unnormalized; consumers normalize).
     pub fn weights(&self) -> [f64; 3] {

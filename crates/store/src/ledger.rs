@@ -1,0 +1,271 @@
+//! The append-only audit ledger: one canonical-JSON line per store
+//! event.
+//!
+//! Every interaction with the store — a blob written (`put`), a lookup
+//! served (`hit`), a lookup that missed or failed verification
+//! (`miss`) — appends one line to `ledger.jsonl`. Timestamps are
+//! **caller-supplied** (the store never reads a clock), so library
+//! code stays deterministic and tests can pin exact ledger bytes.
+//!
+//! The reader is crash-tolerant by construction: a process killed
+//! mid-append leaves a final line without a trailing newline, which
+//! the scanner reports as a truncated tail instead of corrupting the
+//! parse of earlier lines; a bit-flipped line fails to parse and is
+//! skipped (and reported) rather than poisoning the whole file. The
+//! `put` entries carry the blob's SHA-256 content digest — the fact
+//! that lets [`crate::ResultStore`] verify objects it did not write
+//! itself.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// What happened to a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerEvent {
+    /// A blob was written for the key (entry carries its content
+    /// digest and object path).
+    Put,
+    /// A lookup was served from the store.
+    Hit,
+    /// A lookup missed — the key was absent, or its blob failed
+    /// content verification and was refused.
+    Miss,
+}
+
+impl LedgerEvent {
+    /// Canonical ledger label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LedgerEvent::Put => "put",
+            LedgerEvent::Hit => "hit",
+            LedgerEvent::Miss => "miss",
+        }
+    }
+
+    /// Parses a canonical label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "put" => Some(LedgerEvent::Put),
+            "hit" => Some(LedgerEvent::Hit),
+            "miss" => Some(LedgerEvent::Miss),
+            _ => None,
+        }
+    }
+}
+
+/// One ledger line: `(key, event, timestamp)` plus, for `put` entries,
+/// the blob's content digest and its object path relative to the store
+/// root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// The cache key (64-char hex SHA-256 of the canonical request).
+    pub key: String,
+    /// What happened.
+    pub event: LedgerEvent,
+    /// SHA-256 hex digest of the blob bytes (`put` only).
+    pub content: Option<String>,
+    /// Object path relative to the store root (`put` only).
+    pub path: Option<String>,
+    /// Caller-supplied timestamp (conventionally unix seconds; the
+    /// store only compares these values, never interprets them).
+    pub ts: u64,
+}
+
+impl Serialize for LedgerEntry {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        if let Some(content) = &self.content {
+            obj.insert("content".to_string(), content.to_value());
+        }
+        obj.insert("event".to_string(), Value::Str(self.event.label().into()));
+        obj.insert("key".to_string(), self.key.to_value());
+        if let Some(path) = &self.path {
+            obj.insert("path".to_string(), path.to_value());
+        }
+        obj.insert("ts".to_string(), self.ts.to_value());
+        Value::Obj(obj)
+    }
+}
+
+impl<'de> Deserialize<'de> for LedgerEntry {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let Value::Obj(obj) = v else {
+            return Err(SerdeError::custom(format!(
+                "expected ledger entry object, got {v:?}"
+            )));
+        };
+        let event: String = serde::from_field(obj, "event", "LedgerEntry")?;
+        let event = LedgerEvent::parse(&event)
+            .ok_or_else(|| SerdeError::custom(format!("unknown ledger event {event:?}")))?;
+        let content: Option<String> = match obj.get("content") {
+            None => None,
+            Some(v) => Some(String::from_value(v).map_err(SerdeError::custom)?),
+        };
+        let path: Option<String> = match obj.get("path") {
+            None => None,
+            Some(v) => Some(String::from_value(v).map_err(SerdeError::custom)?),
+        };
+        Ok(LedgerEntry {
+            key: serde::from_field(obj, "key", "LedgerEntry")?,
+            event,
+            content,
+            path,
+            ts: serde::from_field(obj, "ts", "LedgerEntry")?,
+        })
+    }
+}
+
+impl LedgerEntry {
+    /// The entry as one canonical-JSON ledger line (no trailing
+    /// newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("ledger serialization is infallible")
+    }
+}
+
+/// The result of scanning a ledger file: every parseable entry in file
+/// order, plus what could not be parsed.
+#[derive(Debug, Default)]
+pub struct LedgerScan {
+    /// Entries in append order.
+    pub entries: Vec<LedgerEntry>,
+    /// 1-based line numbers that were present but unparseable
+    /// (bit flips, manual edits).
+    pub bad_lines: Vec<usize>,
+    /// True when the file ends without a newline — the signature of a
+    /// process killed mid-append. The partial tail is *not* included
+    /// in `entries` or `bad_lines`.
+    pub truncated_tail: bool,
+}
+
+impl LedgerScan {
+    /// Parses ledger text. Never fails: damage is reported, not fatal
+    /// — recovery means recomputing, never serving bad bytes.
+    pub fn parse(text: &str) -> Self {
+        let mut scan = LedgerScan::default();
+        let complete = match text.rfind('\n') {
+            Some(last_nl) => {
+                scan.truncated_tail = last_nl + 1 < text.len();
+                &text[..last_nl]
+            }
+            None => {
+                scan.truncated_tail = !text.is_empty();
+                ""
+            }
+        };
+        for (i, line) in complete.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<LedgerEntry>(line) {
+                Ok(entry) => scan.entries.push(entry),
+                Err(_) => scan.bad_lines.push(i + 1),
+            }
+        }
+        scan
+    }
+
+    /// The latest `put` entry per key, in key order.
+    pub fn latest_puts(&self) -> BTreeMap<String, LedgerEntry> {
+        let mut map = BTreeMap::new();
+        for e in &self.entries {
+            if e.event == LedgerEvent::Put {
+                map.insert(e.key.clone(), e.clone());
+            }
+        }
+        map
+    }
+
+    /// The latest timestamp any event touched each key with.
+    pub fn last_touch(&self) -> BTreeMap<String, u64> {
+        let mut map: BTreeMap<String, u64> = BTreeMap::new();
+        for e in &self.entries {
+            let slot = map.entry(e.key.clone()).or_insert(e.ts);
+            *slot = (*slot).max(e.ts);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(key: &str, ts: u64) -> LedgerEntry {
+        LedgerEntry {
+            key: key.to_string(),
+            event: LedgerEvent::Put,
+            content: Some("c".repeat(64)),
+            path: Some(format!("objects/{}/{key}.json", &key[..2])),
+            ts,
+        }
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let entries = [
+            put("ab12", 7),
+            LedgerEntry {
+                key: "ab12".into(),
+                event: LedgerEvent::Hit,
+                content: None,
+                path: None,
+                ts: 8,
+            },
+        ];
+        let text: String = entries.iter().map(|e| e.to_line() + "\n").collect();
+        let scan = LedgerScan::parse(&text);
+        assert_eq!(scan.entries, entries);
+        assert!(scan.bad_lines.is_empty());
+        assert!(!scan.truncated_tail);
+        // put lines omit nothing; hit/miss lines omit content and path.
+        assert!(text.lines().next().unwrap().contains("\"content\""));
+        assert!(!text.lines().nth(1).unwrap().contains("\"content\""));
+    }
+
+    #[test]
+    fn truncated_tail_is_reported_not_fatal() {
+        let good = put("ab12", 1).to_line() + "\n";
+        let cut = put("cd34", 2).to_line();
+        let half = &cut[..cut.len() / 2];
+        let scan = LedgerScan::parse(&format!("{good}{half}"));
+        assert_eq!(scan.entries.len(), 1);
+        assert!(scan.truncated_tail);
+        assert!(scan.bad_lines.is_empty());
+    }
+
+    #[test]
+    fn bit_flipped_line_is_skipped_and_reported() {
+        let a = put("ab12", 1).to_line();
+        let b = put("cd34", 2).to_line().replace("\"event\"", "\"evXnt\"");
+        let c = put("ef56", 3).to_line();
+        let scan = LedgerScan::parse(&format!("{a}\n{b}\n{c}\n"));
+        assert_eq!(scan.entries.len(), 2);
+        assert_eq!(scan.bad_lines, vec![2]);
+        assert_eq!(scan.entries[1].key, "ef56");
+    }
+
+    #[test]
+    fn latest_put_wins_and_last_touch_tracks_all_events() {
+        let mut old = put("ab12", 1);
+        old.content = Some("d".repeat(64));
+        let newer = put("ab12", 5);
+        let hit = LedgerEntry {
+            key: "ab12".into(),
+            event: LedgerEvent::Hit,
+            content: None,
+            path: None,
+            ts: 9,
+        };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            old.to_line(),
+            newer.to_line(),
+            hit.to_line()
+        );
+        let scan = LedgerScan::parse(&text);
+        let puts = scan.latest_puts();
+        assert_eq!(puts["ab12"], newer);
+        assert_eq!(scan.last_touch()["ab12"], 9);
+    }
+}

@@ -1,0 +1,597 @@
+//! The content-addressed object store: sharded blobs + audit ledger.
+
+use crate::ledger::{LedgerEntry, LedgerEvent, LedgerScan};
+use crate::sha256::sha256_hex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Name of the ledger file inside the store root.
+const LEDGER_FILE: &str = "ledger.jsonl";
+/// Name of the objects directory inside the store root.
+const OBJECTS_DIR: &str = "objects";
+
+/// Monotone counter making temp-file names unique within a process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// What the store knows about one key: the digest and location of its
+/// current blob.
+#[derive(Debug, Clone)]
+struct PutRecord {
+    content: String,
+    path: String,
+}
+
+/// A content-addressed on-disk result store.
+///
+/// Layout under the root directory:
+///
+/// ```text
+/// <root>/objects/<k[0..2]>/<k>.json   # blob for key k (64-hex SHA-256)
+/// <root>/ledger.jsonl                 # append-only audit ledger
+/// ```
+///
+/// Blobs are opaque to the store (the experiment layer stores
+/// canonical `CellReport` JSON). Every blob's SHA-256 **content
+/// digest** is recorded in the ledger's `put` line; [`ResultStore::get`]
+/// re-reads and re-hashes the blob on every lookup and refuses to
+/// serve bytes that do not match — a corrupted object degrades to a
+/// miss (recompute), never to wrong results.
+///
+/// Writes are atomic (temp file + rename in the same directory), and
+/// ledger appends happen under an in-process lock with one `write`
+/// call per line, so concurrent runners sharing one store cannot
+/// interleave partial lines. Opening a store after a crash repairs a
+/// half-written ledger tail by truncating the incomplete final line
+/// (its blob, if the rename completed, is re-adopted on the next
+/// `put`; if not, nothing references it and `gc` removes the orphan).
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    index: Mutex<BTreeMap<String, PutRecord>>,
+    repaired_tail: bool,
+}
+
+/// Aggregate counters for `mocc cache stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Blobs on disk.
+    pub objects: u64,
+    /// Total blob bytes on disk.
+    pub object_bytes: u64,
+    /// Distinct keys with a live `put` entry.
+    pub keys: u64,
+    /// `put` ledger entries.
+    pub puts: u64,
+    /// `hit` ledger entries.
+    pub hits: u64,
+    /// `miss` ledger entries.
+    pub misses: u64,
+    /// Unparseable ledger lines.
+    pub bad_ledger_lines: u64,
+    /// True when the ledger ends in a half-written line.
+    pub truncated_ledger_tail: bool,
+}
+
+/// The outcome of a full store verification.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Objects checked against their recorded content digests.
+    pub objects_checked: u64,
+    /// Human-readable descriptions of every problem found.
+    pub issues: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when no corruption or inconsistency was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// The outcome of a garbage collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcReport {
+    /// Keys (and objects) surviving the collection.
+    pub kept: u64,
+    /// Object files deleted (expired, corrupt, or orphaned).
+    pub removed_objects: u64,
+    /// Ledger lines dropped by compaction.
+    pub removed_ledger_lines: u64,
+}
+
+impl ResultStore {
+    /// Opens (creating if necessary) a store rooted at `root`,
+    /// repairing a crash-truncated ledger tail and loading the key
+    /// index from the ledger.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join(OBJECTS_DIR))?;
+        let ledger_path = root.join(LEDGER_FILE);
+        let text = match std::fs::read_to_string(&ledger_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        // Crash recovery: drop an incomplete final line so future
+        // appends start on a fresh line. The scan below never parses
+        // the partial tail either way; the truncation just keeps the
+        // on-disk file canonical.
+        let mut repaired_tail = false;
+        if !text.is_empty() && !text.ends_with('\n') {
+            let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            std::fs::write(&ledger_path, &text[..keep])?;
+            repaired_tail = true;
+        }
+        let scan = LedgerScan::parse(&text);
+        let mut index = BTreeMap::new();
+        for (key, entry) in scan.latest_puts() {
+            let path = entry.path.unwrap_or_else(|| object_rel_path(&key));
+            let content = entry.content.unwrap_or_default();
+            index.insert(key, PutRecord { content, path });
+        }
+        Ok(ResultStore {
+            root,
+            index: Mutex::new(index),
+            repaired_tail,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// True when [`ResultStore::open`] had to truncate a half-written
+    /// ledger line left by a crashed writer.
+    pub fn repaired_tail(&self) -> bool {
+        self.repaired_tail
+    }
+
+    /// Number of keys with a live blob record.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("store lock").len()
+    }
+
+    /// True when no key has a live blob record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the blob for `key`, verifying its content digest
+    /// before serving it. Appends a `hit` or `miss` ledger line with
+    /// the caller-supplied timestamp. A blob that cannot be read, or
+    /// whose bytes do not hash to the digest recorded when it was
+    /// written, is treated as a miss — corruption degrades to
+    /// recomputation, never to bad bytes.
+    pub fn get(&self, key: &str, ts: u64) -> Option<String> {
+        let guard = self.index.lock().expect("store lock");
+        let blob = guard.get(key).and_then(|rec| {
+            let bytes = std::fs::read(self.root.join(&rec.path)).ok()?;
+            (sha256_hex(&bytes) == rec.content)
+                .then(|| String::from_utf8(bytes).ok())
+                .flatten()
+        });
+        let event = if blob.is_some() {
+            LedgerEvent::Hit
+        } else {
+            LedgerEvent::Miss
+        };
+        let _ = self.append_with_guard(&LedgerEntry {
+            key: key.to_string(),
+            event,
+            content: None,
+            path: None,
+            ts,
+        });
+        drop(guard);
+        blob
+    }
+
+    /// Stores `blob` under `key` (a 64-char hex digest of the
+    /// canonical request — see `mocc-eval`'s cache-key derivation).
+    /// The write is atomic (temp file + rename) and appends a `put`
+    /// ledger line carrying the blob's content digest.
+    pub fn put(&self, key: &str, blob: &str, ts: u64) -> io::Result<()> {
+        validate_key(key)?;
+        let rel = object_rel_path(key);
+        let path = self.root.join(&rel);
+        let dir = path.parent().expect("object path has a shard directory");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, blob)?;
+        std::fs::rename(&tmp, &path)?;
+        let content = sha256_hex(blob.as_bytes());
+        let mut guard = self.index.lock().expect("store lock");
+        self.append_with_guard(&LedgerEntry {
+            key: key.to_string(),
+            event: LedgerEvent::Put,
+            content: Some(content.clone()),
+            path: Some(rel.clone()),
+            ts,
+        })?;
+        guard.insert(key.to_string(), PutRecord { content, path: rel });
+        Ok(())
+    }
+
+    /// Appends one ledger line as a single `write` call (callers hold
+    /// the index lock, so in-process concurrent writers cannot
+    /// interleave; cross-process writers rely on `O_APPEND` whole-line
+    /// atomicity).
+    fn append_with_guard(&self, entry: &LedgerEntry) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.root.join(LEDGER_FILE))?;
+        file.write_all(format!("{}\n", entry.to_line()).as_bytes())
+    }
+
+    /// Every object file currently on disk as `(relative path, bytes)`.
+    fn walk_objects(&self) -> io::Result<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        let objects = self.root.join(OBJECTS_DIR);
+        for shard in std::fs::read_dir(&objects)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for obj in std::fs::read_dir(&shard)? {
+                let obj = obj?;
+                let path = obj.path();
+                if path.is_file() {
+                    let rel = path
+                        .strip_prefix(&self.root)
+                        .expect("object under root")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    out.push((rel, obj.metadata()?.len()));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Scans the on-disk ledger (ignoring the in-memory index, so
+    /// damage inflicted after `open` is still visible).
+    fn scan_disk(&self) -> io::Result<LedgerScan> {
+        let text = match std::fs::read_to_string(self.root.join(LEDGER_FILE)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(LedgerScan::parse(&text))
+    }
+
+    /// Aggregate counters over the ledger and the objects directory.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let scan = self.scan_disk()?;
+        let objects = self.walk_objects()?;
+        let count = |ev: LedgerEvent| scan.entries.iter().filter(|e| e.event == ev).count() as u64;
+        Ok(StoreStats {
+            objects: objects.len() as u64,
+            object_bytes: objects.iter().map(|(_, n)| n).sum(),
+            keys: scan.latest_puts().len() as u64,
+            puts: count(LedgerEvent::Put),
+            hits: count(LedgerEvent::Hit),
+            misses: count(LedgerEvent::Miss),
+            bad_ledger_lines: scan.bad_lines.len() as u64,
+            truncated_ledger_tail: scan.truncated_tail,
+        })
+    }
+
+    /// Verifies the whole store from disk: every ledger line parses,
+    /// every recorded blob exists and hashes to its recorded content
+    /// digest, and every object file is referenced by the ledger.
+    /// Detects truncation, bit flips, and half-written ledger tails.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let scan = self.scan_disk()?;
+        let mut report = VerifyReport::default();
+        if scan.truncated_tail {
+            report
+                .issues
+                .push("ledger: half-written final line (crashed writer); reopen to repair".into());
+        }
+        for line in &scan.bad_lines {
+            report
+                .issues
+                .push(format!("ledger: line {line} is unparseable"));
+        }
+        let puts = scan.latest_puts();
+        for (key, entry) in &puts {
+            let rel = entry.path.clone().unwrap_or_else(|| object_rel_path(key));
+            match std::fs::read(self.root.join(&rel)) {
+                Err(_) => report.issues.push(format!("object {rel}: missing blob")),
+                Ok(bytes) => {
+                    report.objects_checked += 1;
+                    let want = entry.content.as_deref().unwrap_or("");
+                    let got = sha256_hex(&bytes);
+                    if got != want {
+                        report.issues.push(format!(
+                            "object {rel}: content digest mismatch \
+                             (ledger {want}, disk {got}) — truncated or bit-flipped blob"
+                        ));
+                    }
+                }
+            }
+        }
+        let referenced: std::collections::BTreeSet<String> = puts
+            .iter()
+            .map(|(k, e)| e.path.clone().unwrap_or_else(|| object_rel_path(k)))
+            .collect();
+        for (rel, _) in self.walk_objects()? {
+            if !referenced.contains(&rel) {
+                report
+                    .issues
+                    .push(format!("object {rel}: orphan (no ledger put entry)"));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Garbage-collects the store: deletes objects that are corrupt,
+    /// orphaned, or (when `before` is given) whose key was last
+    /// touched strictly before that timestamp, then compacts the
+    /// ledger to one `put` line per surviving key (original put
+    /// timestamps preserved; hit/miss history is dropped — that is
+    /// the space the collection reclaims). The rewrite is atomic.
+    pub fn gc(&self, before: Option<u64>) -> io::Result<GcReport> {
+        let mut guard = self.index.lock().expect("store lock");
+        let scan = self.scan_disk()?;
+        let puts = scan.latest_puts();
+        let touch = scan.last_touch();
+        let mut survivors: BTreeMap<String, LedgerEntry> = BTreeMap::new();
+        let mut removed_objects = 0u64;
+        for (key, entry) in &puts {
+            let rel = entry.path.clone().unwrap_or_else(|| object_rel_path(key));
+            let full = self.root.join(&rel);
+            let expired = before.is_some_and(|b| touch.get(key).copied().unwrap_or(0) < b);
+            let live = !expired
+                && std::fs::read(&full)
+                    .map(|bytes| Some(sha256_hex(&bytes)) == entry.content)
+                    .unwrap_or(false);
+            if live {
+                survivors.insert(key.clone(), entry.clone());
+            } else if std::fs::remove_file(&full).is_ok() {
+                removed_objects += 1;
+            }
+        }
+        let kept_paths: std::collections::BTreeSet<String> = survivors
+            .iter()
+            .map(|(k, e)| e.path.clone().unwrap_or_else(|| object_rel_path(k)))
+            .collect();
+        for (rel, _) in self.walk_objects()? {
+            if !kept_paths.contains(&rel) && std::fs::remove_file(self.root.join(&rel)).is_ok() {
+                removed_objects += 1;
+            }
+        }
+        // Compact: rewrite the ledger with one put line per survivor.
+        let compacted: String = survivors
+            .values()
+            .map(|e| format!("{}\n", e.to_line()))
+            .collect();
+        let tmp = self.root.join(format!(
+            ".ledger-tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &compacted)?;
+        std::fs::rename(&tmp, self.root.join(LEDGER_FILE))?;
+        let before_lines =
+            scan.entries.len() + scan.bad_lines.len() + usize::from(scan.truncated_tail);
+        *guard = survivors
+            .iter()
+            .map(|(k, e)| {
+                (
+                    k.clone(),
+                    PutRecord {
+                        content: e.content.clone().unwrap_or_default(),
+                        path: e.path.clone().unwrap_or_else(|| object_rel_path(k)),
+                    },
+                )
+            })
+            .collect();
+        Ok(GcReport {
+            kept: survivors.len() as u64,
+            removed_objects,
+            removed_ledger_lines: before_lines.saturating_sub(survivors.len()) as u64,
+        })
+    }
+}
+
+/// The object path for a key, relative to the store root: sharded by
+/// the first two hex characters so no directory grows unboundedly.
+pub fn object_rel_path(key: &str) -> String {
+    let shard = key.get(..2).unwrap_or("xx");
+    format!("{OBJECTS_DIR}/{shard}/{key}.json")
+}
+
+/// Keys must be 64-char lowercase hex (a SHA-256 digest): anything
+/// else would be a caller bug and could escape the objects directory.
+fn validate_key(key: &str) -> io::Result<()> {
+    let ok = key.len() == 64
+        && key
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase());
+    if ok {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("store key {key:?} is not a 64-char lowercase hex digest"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256_hex;
+
+    fn temp_store(name: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("mocc-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(&dir).expect("open store")
+    }
+
+    fn key(tag: &str) -> String {
+        sha256_hex(tag.as_bytes())
+    }
+
+    #[test]
+    fn put_get_round_trip_with_ledger_audit() {
+        let store = temp_store("roundtrip");
+        let k = key("cell-1");
+        assert!(store.get(&k, 10).is_none()); // miss logged
+        store.put(&k, "{\"v\":1}", 11).unwrap();
+        assert_eq!(store.get(&k, 12).as_deref(), Some("{\"v\":1}"));
+        let stats = store.stats().unwrap();
+        assert_eq!((stats.objects, stats.keys), (1, 1));
+        assert_eq!((stats.puts, stats.hits, stats.misses), (1, 1, 1));
+        assert!(!stats.truncated_ledger_tail);
+        assert!(store.verify().unwrap().is_clean());
+    }
+
+    #[test]
+    fn reopen_rebuilds_the_index_from_the_ledger() {
+        let store = temp_store("reopen");
+        let k = key("cell-2");
+        store.put(&k, "blob-bytes", 1).unwrap();
+        let root = store.root().to_path_buf();
+        drop(store);
+        let store = ResultStore::open(&root).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&k, 2).as_deref(), Some("blob-bytes"));
+    }
+
+    #[test]
+    fn corrupted_blob_degrades_to_miss_and_verify_reports_it() {
+        let store = temp_store("corrupt");
+        let k = key("cell-3");
+        store.put(&k, "pristine contents", 1).unwrap();
+        let path = store.root().join(object_rel_path(&k));
+        // Bit flip.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            store.get(&k, 2).is_none(),
+            "bit-flipped blob must not serve"
+        );
+        let report = store.verify().unwrap();
+        assert!(!report.is_clean());
+        assert!(report.issues[0].contains("digest mismatch"), "{report:?}");
+        // Truncation.
+        store.put(&k, "pristine contents", 3).unwrap();
+        std::fs::write(&path, &b"pristine"[..]).unwrap();
+        assert!(store.get(&k, 4).is_none(), "truncated blob must not serve");
+        // Deletion.
+        store.put(&k, "pristine contents", 5).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(store.get(&k, 6).is_none());
+        let report = store.verify().unwrap();
+        assert!(report.issues.iter().any(|i| i.contains("missing blob")));
+    }
+
+    #[test]
+    fn reopen_repairs_a_half_written_ledger_tail() {
+        let store = temp_store("tail");
+        let k = key("cell-4");
+        store.put(&k, "blob", 1).unwrap();
+        let root = store.root().to_path_buf();
+        drop(store);
+        // Simulate a crash mid-append: a partial line, no newline.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(root.join(LEDGER_FILE))
+            .unwrap();
+        f.write_all(b"{\"event\":\"put\",\"key\":\"dead").unwrap();
+        drop(f);
+        let store = ResultStore::open(&root).unwrap();
+        assert!(store.repaired_tail());
+        assert_eq!(store.len(), 1, "intact entries survive the repair");
+        assert_eq!(store.get(&k, 2).as_deref(), Some("blob"));
+        assert!(
+            store.verify().unwrap().is_clean(),
+            "repair leaves a clean store"
+        );
+    }
+
+    #[test]
+    fn gc_drops_expired_corrupt_and_orphaned_objects() {
+        let store = temp_store("gc");
+        let (old, fresh, corrupt) = (key("old"), key("fresh"), key("corrupt"));
+        store.put(&old, "old blob", 10).unwrap();
+        store.put(&fresh, "fresh blob", 20).unwrap();
+        store.put(&corrupt, "doomed blob", 30).unwrap();
+        std::fs::write(
+            store.root().join(object_rel_path(&corrupt)),
+            "doomed blob XX",
+        )
+        .unwrap();
+        // An orphan object nothing references.
+        let orphan = key("orphan");
+        let orphan_path = store.root().join(object_rel_path(&orphan));
+        std::fs::create_dir_all(orphan_path.parent().unwrap()).unwrap();
+        std::fs::write(&orphan_path, "stray").unwrap();
+
+        let report = store.gc(Some(15)).unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.removed_objects, 3, "{report:?}");
+        assert!(store.get(&fresh, 40).is_some());
+        assert!(store.get(&old, 41).is_none());
+        assert!(store.get(&corrupt, 42).is_none());
+        assert!(!orphan_path.exists());
+        // Post-gc the store is clean and fully compacted.
+        let reopened = ResultStore::open(store.root()).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.verify().unwrap().is_clean());
+    }
+
+    #[test]
+    fn malformed_keys_are_rejected() {
+        let store = temp_store("badkey");
+        for bad in ["", "abc", &key("x").to_uppercase(), "../../etc/passwd"] {
+            assert!(store.put(bad, "blob", 1).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_share_one_store_without_ledger_corruption() {
+        let store = temp_store("concurrent");
+        let keys: Vec<String> = (0..32).map(|i| key(&format!("cell-{i}"))).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let store = &store;
+                let keys = &keys;
+                scope.spawn(move || {
+                    for (i, k) in keys.iter().enumerate() {
+                        if store.get(k, worker).is_none() {
+                            store.put(k, &format!("{{\"cell\":{i}}}"), worker).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.objects, 32);
+        assert_eq!(stats.bad_ledger_lines, 0, "no interleaved ledger lines");
+        assert!(!stats.truncated_ledger_tail);
+        assert!(store.verify().unwrap().is_clean());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                store.get(k, 99).as_deref(),
+                Some(format!("{{\"cell\":{i}}}").as_str())
+            );
+        }
+    }
+}

@@ -11,3 +11,4 @@ pub use mocc_eval as eval;
 pub use mocc_netsim as netsim;
 pub use mocc_nn as nn;
 pub use mocc_rl as rl;
+pub use mocc_store as store;

@@ -1,0 +1,506 @@
+//! Cache-correctness battery for the content-addressed result store
+//! (`docs/CACHING.md`).
+//!
+//! Four contracts, each with its own section below:
+//!
+//! 1. **Key stability** — a cell's cache key is a pure function of
+//!    the semantic inputs: invariant under spec-document field
+//!    reordering, thread count, batch size, and the experiment name;
+//!    moved by every semantic field (axes, seed, scheme, policy
+//!    identity).
+//! 2. **Byte identity** — a cached run reproduces the uncached report
+//!    byte for byte, cold (all misses) and warm (all hits), for
+//!    randomized sweep and competition specs with and without a
+//!    policy section.
+//! 3. **Corruption recovery** — bit flips, truncations, deleted
+//!    blobs, and half-written ledger lines degrade to recomputation,
+//!    never to wrong bytes; `verify` reports each kind of damage.
+//! 4. **Concurrency** — racing runners sharing one store produce the
+//!    same bytes as a cold solo run and leave a clean ledger.
+
+use mocc::core::{agent_from_policy, policy_digest, run_experiment, run_experiment_cached};
+use mocc::eval::{
+    competition_cell_key, sweep_cell_key, CompetitionSpec, ContenderMix, ExperimentSpec, FlowLoad,
+    MoccPrefSpec, PolicyIdentity, PolicySpec, SchemeSpec, SweepRunner, SweepSpec, TraceShape,
+    Workload,
+};
+use mocc::store::{LedgerScan, ResultStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// A fresh store under a unique temp directory (removed by
+/// `drop_store`; a leaked directory on panic is harmless).
+fn temp_store(name: &str) -> (PathBuf, ResultStore) {
+    let dir = std::env::temp_dir().join(format!("mocc-cachetest-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("open store");
+    (dir, store)
+}
+
+fn drop_store(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Deterministically generates a small randomized experiment — sweep
+/// or competition, baseline or policy-driven — cheap enough to
+/// simulate several times per proptest case.
+fn small_experiment(seed: u64) -> ExperimentSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let with_policy = rng.gen_bool(0.5);
+    let baselines = ["cubic", "bbr", "vegas", "copa"];
+    let moccs = ["mocc", "mocc:thr", "mocc:lat", "mocc:bal"];
+    let pick = |rng: &mut StdRng| {
+        if with_policy && rng.gen_bool(0.5) {
+            moccs[rng.gen_range(0..moccs.len())].to_string()
+        } else {
+            baselines[rng.gen_range(0..baselines.len())].to_string()
+        }
+    };
+    let matrix = SweepSpec {
+        bandwidth_mbps: vec![rng.gen_range(2.0f64..20.0), rng.gen_range(2.0f64..20.0)],
+        owd_ms: vec![rng.gen_range(5u64..60)],
+        queue_pkts: vec![rng.gen_range(20usize..400)],
+        loss: vec![0.0],
+        shapes: vec![TraceShape::Constant],
+        loads: vec![FlowLoad::Steady(rng.gen_range(1usize..3))],
+        duration_s: rng.gen_range(2u64..5),
+        mss_bytes: 1500,
+        seed: rng.gen(),
+        agent_mi: rng.gen_bool(0.5),
+    };
+    let mut exp = if rng.gen_bool(0.6) {
+        let scheme = SchemeSpec::parse(&pick(&mut rng)).expect("generator labels parse");
+        ExperimentSpec::from_sweep("cache-prop", scheme, &matrix)
+    } else {
+        let comp = CompetitionSpec {
+            mixes: vec![ContenderMix::Duel(vec![pick(&mut rng), pick(&mut rng)])],
+            bandwidth_mbps: vec![matrix.bandwidth_mbps[0]],
+            owd_ms: matrix.owd_ms.clone(),
+            queue_pkts: matrix.queue_pkts.clone(),
+            duration_s: matrix.duration_s,
+            mss_bytes: 1500,
+            seed: matrix.seed,
+            agent_mi: matrix.agent_mi,
+            tcp_baseline: "cubic".to_string(),
+            fair_jain: 0.8,
+            fair_sustain_s: 2,
+        };
+        ExperimentSpec::from_competition("cache-prop-competition", &comp)
+    };
+    if with_policy {
+        exp.policy = Some(PolicySpec {
+            path: None,
+            seed: rng.gen_range(1u64..100),
+            config: "fast".to_string(),
+            preference: MoccPrefSpec::Balanced,
+            initial_rate_frac: 0.3,
+            batch: rng.gen_range(1usize..8),
+        });
+    }
+    exp
+}
+
+/// The policy identity the cached experiment path derives — rebuilt
+/// here from public pieces so key computations can run without a
+/// store.
+fn identity(exp: &ExperimentSpec) -> Option<PolicyIdentity> {
+    if !exp.needs_policy() {
+        return None;
+    }
+    let policy = exp.policy.as_ref().expect("validated spec has a policy");
+    let agent = agent_from_policy(policy).expect("policy materializes");
+    Some(PolicyIdentity {
+        digest: policy_digest(&agent),
+        preference: policy.preference.label(),
+        initial_rate_frac: policy.initial_rate_frac,
+    })
+}
+
+/// Every cell's cache key, in cell order.
+fn cell_keys(exp: &ExperimentSpec) -> Vec<String> {
+    let id = identity(exp);
+    match &exp.workload {
+        Workload::Sweep(w) => {
+            let spec = exp.to_sweep_spec().expect("sweep workload");
+            spec.expand()
+                .iter()
+                .map(|c| sweep_cell_key(c, w.scheme.label(), &spec, id.as_ref()))
+                .collect()
+        }
+        Workload::Competition(_) => {
+            let spec = exp.to_competition_spec().expect("competition workload");
+            spec.expand()
+                .iter()
+                .map(|c| competition_cell_key(c, &spec, id.as_ref()))
+                .collect()
+        }
+    }
+}
+
+/// Re-emits a JSON value with every object's keys in **reverse**
+/// order — the canonical writer sorts them — to prove document field
+/// order is immaterial to parsing and to cache keys.
+fn to_json_reversed(v: &Value) -> String {
+    match v {
+        Value::Obj(map) => {
+            let fields: Vec<String> = map
+                .iter()
+                .rev()
+                .map(|(k, val)| {
+                    let key = serde_json::to_string(&Value::Str(k.clone())).expect("key encodes");
+                    format!("{key}:{}", to_json_reversed(val))
+                })
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        Value::Arr(items) => {
+            let items: Vec<String> = items.iter().map(to_json_reversed).collect();
+            format!("[{}]", items.join(","))
+        }
+        other => serde_json::to_string(other).expect("scalar encodes"),
+    }
+}
+
+// ---- 1. key stability -------------------------------------------------
+
+/// Reordering every object's fields in the spec document changes
+/// nothing: the reparsed experiment produces identical cache keys.
+#[test]
+fn keys_are_invariant_under_spec_field_reordering() {
+    for seed in 0..16u64 {
+        let exp = small_experiment(seed);
+        let canonical = exp.to_canonical_json();
+        let value: Value = serde_json::from_str(&canonical).expect("canonical parses");
+        let reversed = to_json_reversed(&value);
+        assert_ne!(canonical, reversed, "seed {seed}: reversal is a no-op");
+        let reparsed = ExperimentSpec::from_json(&reversed).expect("reversed doc parses");
+        assert_eq!(
+            cell_keys(&exp),
+            cell_keys(&reparsed),
+            "seed {seed}: field order moved a cache key"
+        );
+    }
+}
+
+/// The documented exclusions really are excluded: the experiment name
+/// and the policy batch size (like the thread count, which is not a
+/// key input at all) leave every key untouched. Byte-identity across
+/// threads and batches is what makes this safe — see
+/// `cached_report_is_byte_identical_cold_and_warm` and the golden
+/// suite's thread/batch gates.
+#[test]
+fn name_threads_and_batch_never_move_a_key() {
+    let mut exp = small_experiment(3);
+    exp.policy = Some(PolicySpec {
+        path: None,
+        seed: 11,
+        config: "fast".to_string(),
+        preference: MoccPrefSpec::Balanced,
+        initial_rate_frac: 0.3,
+        batch: 4,
+    });
+    let before = cell_keys(&exp);
+    exp.name = "a-completely-different-name".to_string();
+    exp.policy.as_mut().expect("policy set").batch = 64;
+    assert_eq!(
+        before,
+        cell_keys(&exp),
+        "renaming the experiment or changing the batch size moved a key"
+    );
+}
+
+/// Every semantic input moves every key: scenario axes, the derived
+/// seed, and each component of the policy identity (model digest via
+/// the policy seed, default preference, initial rate).
+#[test]
+fn semantic_mutations_move_every_key() {
+    let base = SweepSpec {
+        bandwidth_mbps: vec![8.0],
+        owd_ms: vec![20],
+        queue_pkts: vec![100],
+        loss: vec![0.0],
+        shapes: vec![TraceShape::Constant],
+        loads: vec![FlowLoad::Steady(1)],
+        duration_s: 3,
+        mss_bytes: 1500,
+        seed: 7,
+        agent_mi: true,
+    };
+    let policy = PolicySpec {
+        path: None,
+        seed: 11,
+        config: "fast".to_string(),
+        preference: MoccPrefSpec::Balanced,
+        initial_rate_frac: 0.3,
+        batch: 4,
+    };
+    let exp_with = |matrix: &SweepSpec, scheme: &str, policy: Option<PolicySpec>| {
+        let mut exp = ExperimentSpec::from_sweep(
+            "mutation",
+            SchemeSpec::parse(scheme).expect("scheme parses"),
+            matrix,
+        );
+        exp.policy = policy;
+        exp
+    };
+    let reference = cell_keys(&exp_with(&base, "mocc", Some(policy.clone())));
+    let mutations: Vec<(&str, ExperimentSpec)> = vec![
+        ("duration_s", {
+            let mut m = base.clone();
+            m.duration_s += 1;
+            exp_with(&m, "mocc", Some(policy.clone()))
+        }),
+        ("seed", {
+            let mut m = base.clone();
+            m.seed += 1;
+            exp_with(&m, "mocc", Some(policy.clone()))
+        }),
+        ("mss_bytes", {
+            let mut m = base.clone();
+            m.mss_bytes = 1400;
+            exp_with(&m, "mocc", Some(policy.clone()))
+        }),
+        ("agent_mi", {
+            let mut m = base.clone();
+            m.agent_mi = false;
+            exp_with(&m, "mocc", Some(policy.clone()))
+        }),
+        ("scheme", exp_with(&base, "mocc:thr", Some(policy.clone()))),
+        ("policy seed (digest)", {
+            let mut p = policy.clone();
+            p.seed = 12;
+            exp_with(&base, "mocc", Some(p))
+        }),
+        ("policy preference", {
+            let mut p = policy.clone();
+            p.preference = MoccPrefSpec::Throughput;
+            exp_with(&base, "mocc", Some(p))
+        }),
+        ("policy initial_rate_frac", {
+            let mut p = policy.clone();
+            p.initial_rate_frac = 0.5;
+            exp_with(&base, "mocc", Some(p))
+        }),
+    ];
+    assert_eq!(
+        reference,
+        cell_keys(&exp_with(&base, "mocc", Some(policy))),
+        "identical inputs must rehash identically"
+    );
+    for (what, mutated) in &mutations {
+        let keys = cell_keys(mutated);
+        for (i, (a, b)) in reference.iter().zip(&keys).enumerate() {
+            assert_ne!(a, b, "mutating {what} left cell {i}'s key unchanged");
+        }
+    }
+}
+
+// ---- 2. byte identity (and 4. concurrency) ----------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For randomized specs: a cold cached run is all-miss and
+    /// byte-identical to the plain runner; a warm run over a different
+    /// thread count is all-hit and still byte-identical.
+    #[test]
+    fn cached_report_is_byte_identical_cold_and_warm(seed in 0u64..1024) {
+        let exp = small_experiment(seed);
+        let uncached = run_experiment(&SweepRunner::with_threads(2), &exp)
+            .expect("generated spec runs");
+        let (dir, store) = temp_store(&format!("prop-{seed}"));
+        let (cold, s1) = run_experiment_cached(&SweepRunner::with_threads(1), &exp, &store, 1)
+            .expect("cold cached run");
+        prop_assert_eq!(s1.hits, 0);
+        prop_assert_eq!(s1.misses as usize, exp.cell_count());
+        prop_assert_eq!(cold.to_canonical_json(), uncached.to_canonical_json());
+        let (warm, s2) = run_experiment_cached(&SweepRunner::with_threads(3), &exp, &store, 2)
+            .expect("warm cached run");
+        prop_assert!(s2.all_hits(), "warm run missed: {s2:?}");
+        prop_assert_eq!(warm.to_canonical_json(), uncached.to_canonical_json());
+        drop_store(&dir);
+    }
+}
+
+/// Two runners racing on the same spec through one shared store
+/// produce reports byte-identical to a solo uncached run, and the
+/// ledger comes out whole: every line parses, no truncated tail,
+/// `verify` is clean.
+#[test]
+fn racing_runners_share_a_store_without_corruption() {
+    let exp = small_experiment(5);
+    let reference = run_experiment(&SweepRunner::with_threads(1), &exp)
+        .expect("spec runs")
+        .to_canonical_json();
+    let (dir, store) = temp_store("race");
+    let reports: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let exp = &exp;
+                let store = &store;
+                scope.spawn(move || {
+                    let (report, _) =
+                        run_experiment_cached(&SweepRunner::with_threads(2), exp, store, i)
+                            .expect("racing cached run");
+                    report.to_canonical_json()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(report, &reference, "racer {i} diverged from the solo run");
+    }
+    let ledger = std::fs::read_to_string(dir.join("ledger.jsonl")).expect("ledger exists");
+    let scan = LedgerScan::parse(&ledger);
+    assert!(
+        scan.bad_lines.is_empty(),
+        "garbled lines: {:?}",
+        scan.bad_lines
+    );
+    assert!(!scan.truncated_tail, "ledger ends mid-line");
+    let verify = store.verify().expect("verify runs");
+    assert!(
+        verify.is_clean(),
+        "store issues after race: {:?}",
+        verify.issues
+    );
+    drop_store(&dir);
+}
+
+// ---- 3. corruption and crash recovery ---------------------------------
+
+/// Paths of every object blob in the store, sorted for determinism.
+fn object_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for shard in std::fs::read_dir(dir.join("objects")).expect("objects dir") {
+        let shard = shard.expect("shard entry").path();
+        for obj in std::fs::read_dir(&shard).expect("shard dir") {
+            out.push(obj.expect("object entry").path());
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Bit flips, truncation, and deletion of stored blobs each (a) show
+/// up in `verify` and (b) degrade the next cached run to a recompute
+/// that reproduces the reference bytes exactly — after which the
+/// store is whole again.
+#[test]
+fn corrupted_objects_degrade_to_recompute_not_wrong_bytes() {
+    let exp = small_experiment(1);
+    let (dir, store) = temp_store("corrupt");
+    let (cold, _) =
+        run_experiment_cached(&SweepRunner::with_threads(1), &exp, &store, 1).expect("cold run");
+    let reference = cold.to_canonical_json();
+    let objects = object_paths(&dir);
+    assert_eq!(objects.len(), exp.cell_count(), "one blob per cell");
+
+    type Corruption = (&'static str, Box<dyn Fn(&Path)>);
+    let corruptions: Vec<Corruption> = vec![
+        (
+            "bit flip",
+            Box::new(|p: &Path| {
+                let mut bytes = std::fs::read(p).expect("read blob");
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+                std::fs::write(p, bytes).expect("write corrupted blob");
+            }),
+        ),
+        (
+            "truncation",
+            Box::new(|p: &Path| {
+                let bytes = std::fs::read(p).expect("read blob");
+                std::fs::write(p, &bytes[..bytes.len() / 2]).expect("truncate blob");
+            }),
+        ),
+        (
+            "deletion",
+            Box::new(|p: &Path| {
+                std::fs::remove_file(p).expect("delete blob");
+            }),
+        ),
+    ];
+    for (round, (what, corrupt)) in corruptions.iter().enumerate() {
+        corrupt(&objects[round % objects.len()]);
+        let verify = store.verify().expect("verify runs");
+        assert!(!verify.is_clean(), "{what} went undetected by verify");
+        let (recovered, stats) = run_experiment_cached(
+            &SweepRunner::with_threads(2),
+            &exp,
+            &store,
+            10 + round as u64,
+        )
+        .expect("recovery run");
+        assert!(stats.misses >= 1, "{what}: damaged cell served as a hit");
+        assert_eq!(
+            recovered.to_canonical_json(),
+            reference,
+            "{what}: recovery produced different bytes"
+        );
+        let verify = store.verify().expect("verify runs");
+        assert!(
+            verify.is_clean(),
+            "{what}: recompute did not heal the store: {:?}",
+            verify.issues
+        );
+    }
+    drop_store(&dir);
+}
+
+/// A crash mid-append leaves a half-written last ledger line; reopen
+/// truncates it away, the surviving index still serves every blob,
+/// and the warm report is unchanged. A garbled interior line (torn
+/// overwrite) is skipped and surfaced, never fatal.
+#[test]
+fn half_written_and_garbled_ledger_lines_are_survivable() {
+    use std::io::Write;
+    let exp = small_experiment(2);
+    let (dir, store) = temp_store("crashed-ledger");
+    let (cold, _) =
+        run_experiment_cached(&SweepRunner::with_threads(1), &exp, &store, 1).expect("cold run");
+    drop(store);
+    let ledger_path = dir.join("ledger.jsonl");
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&ledger_path)
+            .expect("open ledger");
+        f.write_all(b"{\"key\":\"deadbeef\",\"event\":\"pu")
+            .expect("tear the tail");
+    }
+    let reopened = ResultStore::open(&dir).expect("reopen after crash");
+    assert!(reopened.repaired_tail(), "torn tail not repaired");
+    let (warm, stats) = run_experiment_cached(&SweepRunner::with_threads(2), &exp, &reopened, 2)
+        .expect("warm run after repair");
+    assert!(stats.all_hits(), "repair lost committed cells: {stats:?}");
+    assert_eq!(warm.to_canonical_json(), cold.to_canonical_json());
+    drop(reopened);
+    // Garble an interior line in place (same length, so later offsets
+    // are untouched — a torn in-place overwrite).
+    let text = std::fs::read_to_string(&ledger_path).expect("read ledger");
+    let first_line_len = text.find('\n').expect("ledger has lines");
+    let garbled = format!("{}{}", "#".repeat(first_line_len), &text[first_line_len..]);
+    std::fs::write(&ledger_path, garbled).expect("garble line");
+    let reopened = ResultStore::open(&dir).expect("reopen with garbled line");
+    let stats = reopened.stats().expect("stats");
+    assert!(stats.bad_ledger_lines >= 1, "garbled line not surfaced");
+    let (warm, cache) = run_experiment_cached(&SweepRunner::with_threads(1), &exp, &reopened, 3)
+        .expect("run with garbled ledger");
+    // The garbled line may have been that cell's only put record; all
+    // other cells must still hit, and bytes never change.
+    assert!(
+        cache.misses <= 1,
+        "one garbled line lost {} cells",
+        cache.misses
+    );
+    assert_eq!(warm.to_canonical_json(), cold.to_canonical_json());
+    drop_store(&dir);
+}

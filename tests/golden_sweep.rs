@@ -15,13 +15,14 @@
 //! `MOCC_SWEEP_THREADS=1` and with the default worker count, so any
 //! scheduling-dependent nondeterminism fails the build.
 
-use mocc::core::run_experiment;
+use mocc::core::{run_experiment, run_experiment_cached};
 use mocc::eval::{
     run_cell, BaselineFactory, CellEvaluator, CellReport, CompetitionSpec, ContenderMix,
     ExperimentSpec, FlowLoad, MoccPrefSpec, PolicySpec, SchemeSpec, SweepCell, SweepReport,
     SweepRunner, SweepSpec, TraceShape,
 };
 use mocc::netsim::cc::{Aimd, CongestionControl};
+use mocc::store::ResultStore;
 use std::path::PathBuf;
 
 /// Controllers with golden fixtures.
@@ -440,6 +441,48 @@ fn example_spec_files_reproduce_the_goldens() {
     }
 }
 
+/// The cache acceptance gate (docs/CACHING.md): run from the shipped
+/// spec files through the memoized path against a fresh store, the
+/// cold run simulates every cell and the warm run simulates **zero**
+/// cells — and both reproduce the committed golden byte for byte.
+/// This is the library-level twin of CI's `spec-cli` cached-run
+/// check through the `mocc` binary.
+#[test]
+fn cached_example_specs_reproduce_goldens_with_zero_cells_simulated() {
+    let dir = std::env::temp_dir().join(format!("mocc-golden-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("open store");
+    for (spec_file, fixture) in [
+        ("sweep_cubic", "cubic"),
+        ("competition_mocc", "competition_mocc"),
+    ] {
+        let exp = ExperimentSpec::load(&example_spec_path(spec_file)).expect("spec loads");
+        let want = std::fs::read_to_string(fixture_path(fixture)).expect("fixture present");
+        let (cold, stats) =
+            run_experiment_cached(&SweepRunner::auto(), &exp, &store, 1).expect("cold cached run");
+        assert_eq!(stats.hits, 0, "{spec_file}: cold run hit a fresh store");
+        assert_eq!(stats.misses as usize, exp.cell_count());
+        assert_eq!(
+            cold.to_canonical_json(),
+            want,
+            "{spec_file}: cold cached run drifted from golden_{fixture}.json"
+        );
+        let (warm, stats) =
+            run_experiment_cached(&SweepRunner::auto(), &exp, &store, 2).expect("warm cached run");
+        assert!(
+            stats.all_hits(),
+            "{spec_file}: warm run simulated {} cells",
+            stats.misses
+        );
+        assert_eq!(
+            warm.to_canonical_json(),
+            want,
+            "{spec_file}: warm cached run drifted from golden_{fixture}.json"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Regenerates every golden fixture — and the example spec files that
 /// reproduce them — in place. Ignored by default; run explicitly after
 /// an intentional behaviour change:
@@ -447,26 +490,66 @@ fn example_spec_files_reproduce_the_goldens() {
 /// ```text
 /// cargo test --test golden_sweep -- --ignored regen_golden
 /// ```
+///
+/// Regeneration deliberately never reads a result store: every
+/// fixture below comes from an uncached simulation, so a stale cache
+/// can never leak old cells into new goldens. Before anything is
+/// written, a cached cross-check against a **fresh** temporary store
+/// must agree with the uncached bytes (and be all-miss, proving no
+/// pre-existing store was consulted).
 #[test]
 #[ignore = "writes tests/fixtures/golden_*.json; run explicitly to regenerate"]
 fn regen_golden() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     std::fs::create_dir_all(&dir).expect("create fixture dir");
     let runner = SweepRunner::auto();
+    let mut regenerated: Vec<(PathBuf, ExperimentSpec, String)> = Vec::new();
     for name in CONTROLLERS {
         let report = runner.run(&golden_experiment(name)).expect("valid");
-        let path = fixture_path(name);
-        std::fs::write(&path, report.to_canonical_json()).expect("write fixture");
-        eprintln!("regenerated {}", path.display());
+        regenerated.push((
+            fixture_path(name),
+            golden_experiment(name),
+            report.to_canonical_json(),
+        ));
     }
     let competition = runner.run(&golden_competition_experiment()).expect("valid");
-    let path = fixture_path("competition_baselines");
-    std::fs::write(&path, competition.to_canonical_json()).expect("write fixture");
-    eprintln!("regenerated {}", path.display());
+    regenerated.push((
+        fixture_path("competition_baselines"),
+        golden_competition_experiment(),
+        competition.to_canonical_json(),
+    ));
     let mocc = run_experiment(&runner, &golden_competition_mocc_experiment()).expect("valid");
-    let path = fixture_path("competition_mocc");
-    std::fs::write(&path, mocc.to_canonical_json()).expect("write fixture");
-    eprintln!("regenerated {}", path.display());
+    regenerated.push((
+        fixture_path("competition_mocc"),
+        golden_competition_mocc_experiment(),
+        mocc.to_canonical_json(),
+    ));
+    let cross_dir =
+        std::env::temp_dir().join(format!("mocc-regen-crosscheck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cross_dir);
+    let cross_store = ResultStore::open(&cross_dir).expect("open cross-check store");
+    for (path, exp, json) in &regenerated {
+        let (cached, stats) =
+            run_experiment_cached(&runner, exp, &cross_store, 1).expect("cross-check runs");
+        assert_eq!(
+            stats.hits,
+            0,
+            "{}: regen cross-check was served from a cache",
+            path.display()
+        );
+        assert_eq!(
+            &cached.to_canonical_json(),
+            json,
+            "{}: cached execution disagrees with the uncached fixture — \
+             refusing to regenerate",
+            path.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cross_dir);
+    for (path, _, json) in &regenerated {
+        std::fs::write(path, json).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+    }
     // The example spec files stay in lockstep with the frozen golden
     // experiments, so `mocc run examples/specs/<f>.json` reproduces a
     // committed golden with no Rust involved.
