@@ -2,7 +2,7 @@
 //! experiments end to end, no recompilation.
 //!
 //! ```text
-//! mocc run <spec.json> [--threads N] [--batch N] [--out FILE] [--cache] [--cache-dir DIR]
+//! mocc run <spec.json> [--threads N] [--batch N] [--fast-math] [--out FILE] [--cache] [--cache-dir DIR]
 //! mocc validate <spec.json>...
 //! mocc list-schemes
 //! mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
@@ -33,7 +33,7 @@ use mocc_eval::{ExperimentSpec, SchemeRegistry, SweepRunner};
 use mocc_store::ResultStore;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -41,7 +41,7 @@ const USAGE: &str = "\
 mocc — run declarative MOCC experiment specs (docs/SPECS.md)
 
 USAGE:
-    mocc run <spec.json> [--threads N] [--batch N] [--out FILE] [--cache] [--cache-dir DIR]
+    mocc run <spec.json> [--threads N] [--batch N] [--fast-math] [--out FILE] [--cache] [--cache-dir DIR]
     mocc validate <spec.json>...
     mocc list-schemes
     mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
@@ -50,6 +50,8 @@ USAGE:
 OPTIONS (run):
     --threads N   worker threads (default: MOCC_SWEEP_THREADS or all cores)
     --batch N     override the policy section's inference batch size
+    --fast-math   select the approximate-tanh inference tier (docs/PERFORMANCE.md);
+                  changes report bytes, so it is part of the cache key
     --out FILE    write the canonical-JSON report to FILE instead of stdout
     --cache       memoize cells through the result store (docs/CACHING.md)
     --cache-dir DIR  store location (implies --cache; default:
@@ -100,6 +102,7 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
         match arg.as_str() {
             "--threads" => opts.threads = Some(parse_count(&mut it, "--threads")?),
             "--batch" => opts.batch = Some(parse_count(&mut it, "--batch")?),
+            "--fast-math" => opts.fast_math = true,
             "--out" => {
                 opts.out = Some(
                     it.next()
@@ -139,6 +142,7 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
 struct Options {
     threads: Option<usize>,
     batch: Option<usize>,
+    fast_math: bool,
     out: Option<String>,
     cache: bool,
     cache_dir: Option<String>,
@@ -197,6 +201,17 @@ fn now_ts() -> u64 {
         .unwrap_or(0)
 }
 
+/// The `--older-than-days N` cutoff for `mocc cache gc`: entries last
+/// touched *strictly before* `now − N·86 400` are dropped (a ledger
+/// timestamp exactly at the cutoff survives — see the store's gc
+/// contract). `None` disables the age filter. Computed once here from
+/// the CLI's single clock read ([`now_ts`]); the store itself never
+/// reads a clock. Both steps saturate so absurd `N` values clamp the
+/// cutoff to the epoch instead of wrapping around.
+fn gc_cutoff(now: u64, older_than_days: Option<u64>) -> Option<u64> {
+    older_than_days.map(|days| now.saturating_sub(days.saturating_mul(86_400)))
+}
+
 fn load_spec(path: &str) -> Result<ExperimentSpec, String> {
     ExperimentSpec::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
@@ -217,6 +232,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "{path}: --batch overrides the spec's policy section, \
                      but this spec has none (no `mocc` schemes)"
+                ))
+            }
+        }
+    }
+    if opts.fast_math {
+        match &mut exp.policy {
+            Some(policy) => policy.fast_math = true,
+            None => {
+                return Err(format!(
+                    "{path}: --fast-math selects the policy's inference tier, \
+                     but this spec has no policy section (no `mocc` schemes)"
                 ))
             }
         }
@@ -256,7 +282,12 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     if positional.is_empty() {
         return Err(format!("`mocc validate` takes spec files\n\n{USAGE}"));
     }
-    if opts.threads.is_some() || opts.batch.is_some() || opts.out.is_some() || opts.cache {
+    if opts.threads.is_some()
+        || opts.batch.is_some()
+        || opts.out.is_some()
+        || opts.cache
+        || opts.fast_math
+    {
         return Err("`mocc validate` takes no options".to_string());
     }
     let registry = SchemeRegistry::builtin();
@@ -354,9 +385,7 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
             }
         }
         "gc" => {
-            let before = opts
-                .older_than_days
-                .map(|d| now_ts().saturating_sub(d * 86_400));
+            let before = gc_cutoff(now_ts(), opts.older_than_days);
             let report = store.gc(before).map_err(|e| e.to_string())?;
             println!(
                 "{}: kept {} objects, removed {}, dropped {} ledger lines",
@@ -432,27 +461,106 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Upper bound on one request line. Longer lines are discarded in
+/// bounded chunks and answered with a structured error, so a client
+/// cannot make the daemon buffer an arbitrarily large request.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
 /// Serves one client session; returns true when the client asked the
 /// daemon to shut down (not merely disconnected).
+///
+/// Per-request faults — malformed JSON, invalid UTF-8, an oversized
+/// line, or a panic inside op dispatch — answer `{"ok":false,...}` and
+/// keep the session alive; only a transport-level read/write error
+/// ends it.
 fn serve_session(
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write,
     runner: &SweepRunner,
     store: &ResultStore,
 ) -> Result<bool, String> {
-    for line in reader.lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        if line.trim().is_empty() {
-            continue;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = reader
+            .by_ref()
+            .take(MAX_REQUEST_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)
+            .map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(false); // Client disconnected.
         }
-        let (response, shutdown) = serve_one(&line, runner, store);
+        let (response, shutdown) = if buf.len() > MAX_REQUEST_BYTES && !buf.ends_with(b"\n") {
+            drain_line(&mut reader)?;
+            (
+                error_response(&format!("request line exceeds {MAX_REQUEST_BYTES} bytes")),
+                false,
+            )
+        } else {
+            // Lossy decoding: invalid UTF-8 becomes a JSON parse error
+            // on the replacement characters, not a dead session.
+            let line = String::from_utf8_lossy(&buf);
+            if line.trim().is_empty() {
+                continue;
+            }
+            serve_line(&line, runner, store)
+        };
         writeln!(writer, "{response}").map_err(|e| e.to_string())?;
         writer.flush().map_err(|e| e.to_string())?;
         if shutdown {
             return Ok(true);
         }
     }
-    Ok(false)
+}
+
+/// Discards the rest of the current input line (the request already
+/// exceeded [`MAX_REQUEST_BYTES`]), consuming the reader's buffer in
+/// place so memory stays bounded. EOF also ends the line.
+fn drain_line(reader: &mut impl BufRead) -> Result<(), String> {
+    loop {
+        let available = reader.fill_buf().map_err(|e| e.to_string())?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                reader.consume(i + 1);
+                return Ok(());
+            }
+            None => {
+                let n = available.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// [`serve_one`] behind a panic guard: a panic while dispatching one
+/// request becomes a structured error response instead of unwinding
+/// through the serve loop and killing the daemon.
+fn serve_line(line: &str, runner: &SweepRunner, store: &ResultStore) -> (String, bool) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| serve_one(line, runner, store))) {
+        Ok(result) => result,
+        Err(payload) => (
+            // `&*payload`: deref the box so we downcast the payload,
+            // not the `Box<dyn Any>` itself.
+            error_response(&format!("internal error: {}", panic_message(&*payload))),
+            false,
+        ),
+    }
+}
+
+/// Best-effort text of a caught panic payload (`panic!` carries a
+/// `&str` or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic"
+    }
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -549,5 +657,54 @@ fn serve_one(line: &str, runner: &SweepRunner, store: &ResultStore) -> (String, 
             }
         }
         other => (error_response(&format!("unknown op {other:?}")), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn gc_cutoff_is_now_minus_whole_days() {
+        assert_eq!(gc_cutoff(1_000_000, None), None);
+        assert_eq!(gc_cutoff(1_000_000, Some(0)), Some(1_000_000));
+        assert_eq!(gc_cutoff(1_000_000, Some(1)), Some(1_000_000 - 86_400));
+        assert_eq!(gc_cutoff(1_000_000, Some(7)), Some(1_000_000 - 7 * 86_400));
+    }
+
+    #[test]
+    fn gc_cutoff_saturates_instead_of_wrapping() {
+        // More days than the clock holds: clamp to the epoch; an
+        // entry at ts 0 still survives (`0 < 0` is false).
+        assert_eq!(gc_cutoff(5, Some(1)), Some(0));
+        assert_eq!(gc_cutoff(u64::MAX, Some(u64::MAX)), Some(0));
+    }
+
+    #[test]
+    fn drain_line_stops_at_the_newline() {
+        let mut reader = std::io::BufReader::new(&b"tail of oversized line\nnext"[..]);
+        drain_line(&mut reader).unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "next");
+    }
+
+    #[test]
+    fn drain_line_accepts_eof_as_line_end() {
+        let mut reader = std::io::BufReader::new(&b"no newline at all"[..]);
+        drain_line(&mut reader).unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "");
+    }
+
+    #[test]
+    fn panic_message_reads_str_and_string_payloads() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let p = catch_unwind(AssertUnwindSafe(|| panic!("plain str"))).unwrap_err();
+        assert_eq!(panic_message(&*p), "plain str");
+        let p = catch_unwind(AssertUnwindSafe(|| panic!("with {}", "args"))).unwrap_err();
+        assert_eq!(panic_message(&*p), "with args");
     }
 }

@@ -84,6 +84,11 @@ pub struct PerfReport {
     pub forward_ns_b32: f64,
     /// Nanoseconds per observation row at batch 256.
     pub forward_ns_b256: f64,
+    /// Nanoseconds per row, fast-math tier (batch 1). See
+    /// `mocc_nn::simd`: approximate tanh, vector backends.
+    pub forward_fast_ns_b1: f64,
+    /// Nanoseconds per row, fast-math tier at batch 256.
+    pub forward_fast_ns_b256: f64,
     /// Discrete events processed per second on the fixed scenario.
     pub sim_steps_per_sec: f64,
     /// Cells per second on the frozen 64-cell reference sweep (cubic).
@@ -174,20 +179,20 @@ fn best_of<F: FnMut()>(reps: u64, mut f: F) -> f64 {
     best
 }
 
-fn forward_ns(batch: usize, iters: u64) -> f64 {
+fn forward_ns(batch: usize, iters: u64, tier: mocc_nn::ForwardTier) -> f64 {
     let mlp = bench_mlp();
     let data = obs_rows(batch);
     let mut scratch = mocc_nn::MlpScratch::default();
     let batch_m = mocc_nn::Matrix::from_vec(batch, OBS_DIM, data.clone());
     let mut out = mocc_nn::Matrix::zeros(0, 0);
     // Warm-up sizes the scratch buffers once, outside the timed region.
-    mlp.forward_batch_into(&batch_m, &mut out, &mut scratch);
+    mlp.forward_batch_into_tier(&batch_m, &mut out, &mut scratch, tier);
     let secs = best_of(3, || {
         for _ in 0..iters {
             if batch == 1 {
-                black_box(mlp.forward_into(black_box(&data), &mut scratch));
+                black_box(mlp.forward_into_tier(black_box(&data), &mut scratch, tier));
             } else {
-                mlp.forward_batch_into(black_box(&batch_m), &mut out, &mut scratch);
+                mlp.forward_batch_into_tier(black_box(&batch_m), &mut out, &mut scratch, tier);
                 black_box(out.data.last());
             }
         }
@@ -260,12 +265,15 @@ pub fn measure() -> PerfReport {
     // floor, so more repetitions make the adaptive numbers robust to
     // transient machine load.
     let reps = fixed.map(|n| n.min(3)).unwrap_or(5);
+    use mocc_nn::ForwardTier::{Fast, Scalar};
     PerfReport {
         fixed_iters: fixed.unwrap_or(0),
         threads: threads as u64,
-        forward_ns_b1: round3(forward_ns(1, i1)),
-        forward_ns_b32: round3(forward_ns(32, i32_)),
-        forward_ns_b256: round3(forward_ns(256, i256)),
+        forward_ns_b1: round3(forward_ns(1, i1, Scalar)),
+        forward_ns_b32: round3(forward_ns(32, i32_, Scalar)),
+        forward_ns_b256: round3(forward_ns(256, i256, Scalar)),
+        forward_fast_ns_b1: round3(forward_ns(1, i1, Fast)),
+        forward_fast_ns_b256: round3(forward_ns(256, i256, Fast)),
         sim_steps_per_sec: round3(sim_steps_per_sec(reps)),
         sweep_cells_per_sec: round3(sweep_cells_per_sec(threads, reps)),
         mocc_cells_per_sec: round3(mocc_cells_per_sec(threads, reps)),
@@ -299,7 +307,7 @@ pub fn check(
         )]);
     }
     // (name, measured, baseline, higher_is_better)
-    let metrics: [(&str, f64, f64, bool); 6] = [
+    let metrics: [(&str, f64, f64, bool); 8] = [
         (
             "forward_ns_b1",
             got.forward_ns_b1,
@@ -316,6 +324,18 @@ pub fn check(
             "forward_ns_b256",
             got.forward_ns_b256,
             baseline.forward_ns_b256,
+            false,
+        ),
+        (
+            "forward_fast_ns_b1",
+            got.forward_fast_ns_b1,
+            baseline.forward_fast_ns_b1,
+            false,
+        ),
+        (
+            "forward_fast_ns_b256",
+            got.forward_fast_ns_b256,
+            baseline.forward_fast_ns_b256,
             false,
         ),
         (
@@ -368,6 +388,8 @@ mod tests {
             forward_ns_b1: v,
             forward_ns_b32: v,
             forward_ns_b256: v,
+            forward_fast_ns_b1: v,
+            forward_fast_ns_b256: v,
             sim_steps_per_sec: v,
             sweep_cells_per_sec: v,
             mocc_cells_per_sec: v,

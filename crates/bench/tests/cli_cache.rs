@@ -237,6 +237,74 @@ fn serve_answers_the_line_json_protocol_over_stdin() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Hostile input keeps the daemon alive: malformed JSON, a non-object
+/// request, a missing/non-string `op`, invalid UTF-8, and an
+/// oversized (>1 MiB) line each answer a structured `"ok":false`
+/// error on their own response line, after which the session still
+/// serves a normal `ping` and a clean `shutdown`.
+#[test]
+fn serve_survives_malformed_oversized_and_binary_requests() {
+    let dir = temp_dir("serve-hostile");
+    let store = dir.join("store");
+    let store_arg = store.to_str().expect("utf-8 temp path");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocc"))
+        .args(["serve", "--cache-dir", store_arg])
+        .current_dir(repo_root())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    writeln!(stdin, "this is not json").expect("write junk");
+    writeln!(stdin, "[1,2,3]").expect("write non-object");
+    writeln!(stdin, "{{\"op\":42}}").expect("write non-string op");
+    stdin
+        .write_all(b"\x80\xff binary \x00 junk\n")
+        .expect("write invalid utf-8");
+    // One request line well past the 1 MiB cap; the daemon must
+    // answer an error without buffering it, then keep serving.
+    let oversized = vec![b'x'; 3 << 20];
+    stdin.write_all(&oversized).expect("write oversized line");
+    stdin.write_all(b"\n").expect("terminate oversized line");
+    writeln!(stdin, "{{\"op\":\"ping\"}}").expect("write ping");
+    writeln!(stdin, "{{\"op\":\"shutdown\"}}").expect("write shutdown");
+    drop(stdin);
+
+    let lines: Vec<String> = stdout.lines().map(|l| l.expect("read response")).collect();
+    assert_eq!(lines.len(), 7, "one response per request: {lines:#?}");
+    for (i, why) in [
+        (0usize, "malformed JSON"),
+        (1, "non-object request"),
+        (2, "non-string op"),
+        (3, "invalid UTF-8"),
+        (4, "oversized line"),
+    ] {
+        assert!(
+            lines[i].contains("\"ok\":false"),
+            "{why} should answer a structured error: {}",
+            lines[i]
+        );
+    }
+    assert!(
+        lines[4].contains("exceeds"),
+        "oversized line should name the cap: {}",
+        lines[4]
+    );
+    assert_eq!(
+        lines[5], "{\"ok\":true,\"op\":\"ping\"}",
+        "daemon must still serve after hostile input"
+    );
+    assert_eq!(lines[6], "{\"ok\":true,\"op\":\"shutdown\"}");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The serve daemon on a Unix socket: a client connects, runs the
 /// protocol, and `shutdown` terminates the daemon and removes the
 /// socket file.

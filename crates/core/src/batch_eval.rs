@@ -29,7 +29,7 @@ use mocc_eval::{
 };
 use mocc_netsim::cc::{CongestionControl, ExternalRate, FixedRate};
 use mocc_netsim::Simulator;
-use mocc_nn::Matrix;
+use mocc_nn::{ForwardTier, Matrix};
 use mocc_rl::{GaussianPolicy, PolicyScratch};
 use std::collections::VecDeque;
 
@@ -44,6 +44,7 @@ pub struct BatchMoccEvaluator {
     pref: Preference,
     initial_rate_frac: f64,
     batch: usize,
+    tier: ForwardTier,
 }
 
 impl BatchMoccEvaluator {
@@ -56,12 +57,27 @@ impl BatchMoccEvaluator {
             pref,
             initial_rate_frac,
             batch: 32,
+            tier: ForwardTier::Scalar,
         }
     }
 
     /// Overrides the number of cells evaluated per batch (≥ 1).
     pub fn with_batch_size(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Selects the approximate fast-math forward tier
+    /// (`mocc_nn::simd`) for this evaluator's inference. Off (the
+    /// bit-exact scalar reference) by default; unlike `--threads` and
+    /// `--batch` this knob *does* change report bytes, so callers must
+    /// carry it in the cache-key policy identity.
+    pub fn with_fast_math(mut self, enabled: bool) -> Self {
+        self.tier = if enabled {
+            ForwardTier::Fast
+        } else {
+            ForwardTier::Scalar
+        };
         self
     }
 
@@ -167,7 +183,7 @@ impl CellEvaluator for BatchMoccEvaluator {
                 write_obs(&self.pref, &run.history, obs.row_mut(r));
             }
             self.policy
-                .mean_action_batch(&obs, &mut means, &mut scratch);
+                .mean_action_batch_tier(&obs, &mut means, &mut scratch, self.tier);
             for (run, &mean) in runs.iter_mut().zip(&means) {
                 let next = self.cfg.apply_action(run.sim.rate(0), mean);
                 run.sim.set_rate(0, next);
@@ -331,7 +347,7 @@ impl CompetitionEvaluator for BatchMoccEvaluator {
                 write_obs(&mf.pref, &mf.history, obs.row_mut(r));
             }
             self.policy
-                .mean_action_batch(&obs, &mut means, &mut scratch);
+                .mean_action_batch_tier(&obs, &mut means, &mut scratch, self.tier);
             for (run, &mean) in runs.iter_mut().zip(&means) {
                 let next = self.cfg.apply_action(run.sim.rate(run.paused), mean);
                 run.sim.set_rate(run.paused, next);

@@ -58,7 +58,8 @@ pub fn evaluator_from_policy(
     let pref = pref_override.unwrap_or_else(|| preference_from_spec(&policy.preference));
     Ok(
         BatchMoccEvaluator::new(&agent, pref, policy.initial_rate_frac)
-            .with_batch_size(policy.batch),
+            .with_batch_size(policy.batch)
+            .with_fast_math(policy.fast_math),
     )
 }
 
@@ -181,6 +182,7 @@ pub fn run_experiment_cached_in(
         digest: policy_digest(&agent),
         preference: policy.preference.label(),
         initial_rate_frac: policy.initial_rate_frac,
+        fast_math: policy.fast_math,
     };
     match &exp.workload {
         Workload::Sweep(w) => {
@@ -190,7 +192,8 @@ pub fn run_experiment_cached_in(
                 SchemeKind::Registry => unreachable!("needs_policy implies a mocc scheme"),
             };
             let evaluator = BatchMoccEvaluator::new(&agent, pref, policy.initial_rate_frac)
-                .with_batch_size(policy.batch);
+                .with_batch_size(policy.batch)
+                .with_fast_math(policy.fast_math);
             let spec = exp.to_sweep_spec().expect("sweep workload lowers");
             Ok(runner.run_cells_cached(
                 &spec,
@@ -209,7 +212,8 @@ pub fn run_experiment_cached_in(
                 preference_from_spec(&policy.preference),
                 policy.initial_rate_frac,
             )
-            .with_batch_size(policy.batch);
+            .with_batch_size(policy.batch)
+            .with_fast_math(policy.fast_math);
             let spec = exp
                 .to_competition_spec()
                 .expect("competition workload lowers");

@@ -9,7 +9,7 @@
 //! one model correlate preferences with control policies (§4.1).
 
 use mocc_nn::mlp::ForwardCache;
-use mocc_nn::{Activation, Matrix, Mlp, MlpScratch, Network};
+use mocc_nn::{Activation, ForwardTier, Matrix, Mlp, MlpScratch, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -115,10 +115,20 @@ impl Network for PrefNet {
     }
 
     fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut PrefNetScratch) {
+        self.forward_batch_into_tier(x, out, scratch, ForwardTier::Scalar);
+    }
+
+    fn forward_batch_into_tier(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut PrefNetScratch,
+        tier: ForwardTier,
+    ) {
         debug_assert_eq!(x.cols, self.in_dim());
         x.copy_cols_into(0, self.pref_dim, &mut scratch.wm);
         self.pn
-            .forward_batch_into(&scratch.wm, &mut scratch.pn_out, &mut scratch.pn);
+            .forward_batch_into_tier(&scratch.wm, &mut scratch.pn_out, &mut scratch.pn, tier);
         // joint = [pn features | history columns], assembled row-wise
         // into the reusable buffer (an allocation-free hstack).
         let pnf = self.pn.out_dim();
@@ -130,7 +140,7 @@ impl Network for PrefNet {
             jrow[pnf..].copy_from_slice(&x.row(r)[self.pref_dim..]);
         }
         self.main
-            .forward_batch_into(&scratch.jointm, out, &mut scratch.main);
+            .forward_batch_into_tier(&scratch.jointm, out, &mut scratch.main, tier);
     }
 
     fn forward_batch(&self, x: &Matrix) -> PrefNetCache {

@@ -111,6 +111,12 @@ pub struct PolicySpec {
     pub initial_rate_frac: f64,
     /// Cells per batched-inference chunk (default 32).
     pub batch: usize,
+    /// Run inference on the approximate fast-math kernel tier
+    /// (`mocc_nn::simd`; default `false`). Unlike `batch`, this is a
+    /// *semantic* knob: reports are still deterministic but not
+    /// byte-identical to the scalar reference, so it participates in
+    /// cache-key identity (see `docs/CACHING.md`).
+    pub fast_math: bool,
 }
 
 impl Default for PolicySpec {
@@ -122,6 +128,7 @@ impl Default for PolicySpec {
             preference: crate::MoccPrefSpec::Balanced,
             initial_rate_frac: 0.3,
             batch: 32,
+            fast_math: false,
         }
     }
 }
@@ -437,6 +444,7 @@ impl Serialize for PolicySpec {
             self.initial_rate_frac.to_value(),
         );
         obj.insert("batch".to_string(), self.batch.to_value());
+        obj.insert("fast_math".to_string(), self.fast_math.to_value());
         Value::Obj(obj)
     }
 }
@@ -457,6 +465,7 @@ impl<'de> Deserialize<'de> for PolicySpec {
                 "preference",
                 "initial_rate_frac",
                 "batch",
+                "fast_math",
             ],
             "PolicySpec",
         )?;
@@ -479,6 +488,7 @@ impl<'de> Deserialize<'de> for PolicySpec {
             initial_rate_frac: opt_field(obj, "initial_rate_frac", "PolicySpec")?
                 .unwrap_or(d.initial_rate_frac),
             batch: opt_field(obj, "batch", "PolicySpec")?.unwrap_or(d.batch),
+            fast_math: opt_field(obj, "fast_math", "PolicySpec")?.unwrap_or(d.fast_math),
         })
     }
 }

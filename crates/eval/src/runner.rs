@@ -666,6 +666,44 @@ mod tests {
         assert!(rep.cells[0].utilization > 0.5, "{:?}", rep.cells[0]);
     }
 
+    /// An all-loss cell — configured loss rate 1.0, so every flow acks
+    /// zero bytes in every window — must reduce to finite metrics and
+    /// NaN-free canonical JSON: Jain degenerates to 1.0 (an all-zero
+    /// share vector is trivially "fair"), friendliness/convergence
+    /// stay `None`, and the bytes are deterministic across thread
+    /// counts like any other cell.
+    #[test]
+    fn all_loss_cell_reduces_without_nan() {
+        let mut spec = small_spec();
+        spec.bandwidth_mbps = vec![4.0];
+        spec.owd_ms = vec![10];
+        spec.loss = vec![1.0];
+        let rep = SweepRunner::with_threads(1).run_factory(&spec, "aimd", &aimd_factory);
+        assert_eq!(rep.cells.len(), 1);
+        let c = &rep.cells[0];
+        assert_eq!(c.goodput_mbps, 0.0, "nothing can be delivered");
+        assert_eq!(c.loss_rate, 1.0);
+        assert_eq!(c.jain, 1.0);
+        assert_eq!(c.friendliness, None);
+        assert_eq!(c.convergence_s, None);
+        for (name, v) in [
+            ("goodput_mbps", c.goodput_mbps),
+            ("mean_rtt_ms", c.mean_rtt_ms),
+            ("p95_rtt_ms", c.p95_rtt_ms),
+            ("loss_rate", c.loss_rate),
+            ("utilization", c.utilization),
+            ("latency_ratio", c.latency_ratio),
+            ("jain", c.jain),
+            ("utility", c.utility),
+        ] {
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+        let json = rep.to_canonical_json();
+        assert!(!json.to_ascii_lowercase().contains("nan"), "{json}");
+        let again = SweepRunner::with_threads(2).run_factory(&spec, "aimd", &aimd_factory);
+        assert_eq!(json, again.to_canonical_json());
+    }
+
     #[test]
     fn thread_resolution() {
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);

@@ -120,7 +120,10 @@ pub fn total_utilization(res: &SimResult) -> f64 {
 /// pairs, for printing figure-style CDF series.
 pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // `total_cmp`, not `partial_cmp().unwrap()`: identical order for
+    // ordinary floats, but a stray NaN (e.g. from a degenerate
+    // all-loss cell) sorts last instead of panicking mid-report.
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     v.iter()
         .enumerate()
@@ -151,7 +154,8 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Same NaN-tolerant ordering as [`ecdf`].
+    v.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize - 1;
     v[rank.min(v.len() - 1)]
 }
@@ -273,6 +277,48 @@ mod tests {
         let e = ecdf(&[3.0, 1.0, 2.0]);
         assert_eq!(e[0], (1.0, 1.0 / 3.0));
         assert_eq!(e[2], (3.0, 1.0));
+    }
+
+    /// An all-loss window — every flow acked zero bytes — must keep
+    /// every metric finite and deterministic: Jain degenerates to 1.0,
+    /// the friendliness denominator is clamped away from zero, and
+    /// convergence is `None`, never NaN.
+    #[test]
+    fn all_loss_window_yields_finite_deterministic_metrics() {
+        let zeros = vec![0.0; 8];
+        assert_eq!(jain_index(&zeros), 1.0);
+        assert_eq!(
+            window_mbits(&[flow_with_series(zeros.clone())], 0, 8),
+            vec![0.0]
+        );
+        let f = FlowResult {
+            throughput_bps: 0.0,
+            ..FlowResult::default()
+        };
+        let r = friendliness_ratio(&f, &f); // 0/0 would be NaN
+        assert_eq!(r, 0.0);
+        assert!(r.is_finite());
+        let flows = [
+            flow_with_series(vec![0.0; 8]),
+            flow_with_series(vec![0.0; 8]),
+        ];
+        assert_eq!(per_second_jain(&flows), Vec::<f64>::new());
+        assert_eq!(
+            time_to_fair_share(&flows, &[(0.0, 8.0), (0.0, 8.0)], 0, 8, 0.9, 2),
+            None
+        );
+    }
+
+    /// The order helpers must not panic when a NaN does sneak into a
+    /// series; it sorts last under `total_cmp` and everything else
+    /// keeps its ordinary order.
+    #[test]
+    fn ecdf_and_percentile_tolerate_nan_without_panicking() {
+        let with_nan = [2.0, f64::NAN, 1.0];
+        let e = ecdf(&with_nan);
+        assert_eq!((e[0].0, e[1].0), (1.0, 2.0));
+        assert!(e[2].0.is_nan(), "NaN sorts last");
+        assert_eq!(percentile(&with_nan, 50.0), 2.0);
     }
 
     #[test]

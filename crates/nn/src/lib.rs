@@ -40,9 +40,11 @@ pub mod mlp;
 pub mod network;
 pub mod optim;
 pub mod rng;
+pub mod simd;
 
 pub use matrix::Matrix;
 pub use mlp::{Activation, Dense, ForwardCache, Mlp, MlpScratch};
 pub use network::Network;
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use rng::{gaussian_entropy, gaussian_log_prob, normal, randn};
+pub use simd::{fast_tanh, fast_tanh_slice, ForwardTier};

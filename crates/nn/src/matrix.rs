@@ -229,23 +229,10 @@ impl Matrix {
         debug_assert_eq!(x.cols, w.rows);
         debug_assert_eq!(out.rows, x.rows);
         debug_assert_eq!(out.cols, w.cols);
-        let width = w.cols;
-        for kk in (0..x.cols).step_by(K_BLOCK) {
-            let kend = (kk + K_BLOCK).min(x.cols);
-            for r in 0..x.rows {
-                let xrow = x.row(r);
-                let out_row = &mut out.data[r * width..(r + 1) * width];
-                for (dk, &a) in xrow[kk..kend].iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let wrow = w.row(kk + dk);
-                    for (o, &b) in out_row.iter_mut().zip(wrow) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        // The traversal lives in `simd.rs` so the inner `out += a·w`
+        // step can dispatch to the vector backends; every backend is
+        // bitwise identical to the plain loop (see `simd::axpy`).
+        crate::simd::accumulate(x, w, out);
     }
 
     /// Sums each column into a vector of length `cols`.

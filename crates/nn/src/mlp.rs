@@ -7,6 +7,7 @@
 //! optimizer consumes through [`Mlp::for_each_param`].
 
 use crate::matrix::Matrix;
+use crate::simd::{self, ForwardTier};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -22,7 +23,7 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f32) -> f32 {
+    pub(crate) fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Tanh => x.tanh(),
             Activation::Relu => x.max(0.0),
@@ -91,39 +92,38 @@ impl Dense {
     /// path shares — scalar and batched forwards are bitwise identical
     /// because they both reduce to it (bias first, then weight rows in
     /// ascending input order).
+    /// One input row through the layer under an explicit kernel tier:
+    /// the affine part (bias first, then weight rows in ascending
+    /// input order through the dispatched `axpy`) is bitwise identical
+    /// in both tiers; only a tanh activation differs under
+    /// [`ForwardTier::Fast`].
     #[inline]
-    fn forward_row_into(&self, x: &[f32], out: &mut [f32]) {
+    fn forward_row_into_tier(&self, x: &[f32], out: &mut [f32], tier: ForwardTier) {
         out.copy_from_slice(&self.b);
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
-            let wrow = self.w.row(i);
-            for (o, &w) in out.iter_mut().zip(wrow) {
-                *o += xi * w;
-            }
+            simd::axpy(out, xi, self.w.row(i));
         }
-        for o in out {
-            *o = self.act.apply(*o);
-        }
+        simd::apply_activation(self.act, tier, out);
     }
 
     /// Batched layer application `out = act(bias ⊕ x · W)`, reshaping
     /// `out` to fit (allocation-free at steady state). The accumulation
     /// is [`Matrix::accumulate`] — the same blocked kernel behind
     /// `matmul_into` — over bias-initialized rows, so per-element order
-    /// matches [`Dense::forward_row_into`] exactly and every output row
-    /// is bitwise identical to the scalar path.
-    fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+    /// matches [`Dense::forward_row_into_tier`] exactly and every
+    /// output row is bitwise identical to the single-row path of the
+    /// same tier.
+    fn forward_batch_into_tier(&self, x: &Matrix, out: &mut Matrix, tier: ForwardTier) {
         assert_eq!(x.cols, self.w.rows, "layer input dimension mismatch");
         out.reshape(x.rows, self.w.cols);
         for r in 0..x.rows {
             out.row_mut(r).copy_from_slice(&self.b);
         }
         Matrix::accumulate(x, &self.w, out);
-        for o in &mut out.data {
-            *o = self.act.apply(*o);
-        }
+        simd::apply_activation(self.act, tier, &mut out.data);
     }
 }
 
@@ -222,6 +222,20 @@ impl Mlp {
     /// output slice (borrowed from `scratch`), bitwise identical to
     /// [`Mlp::forward`].
     pub fn forward_into<'s>(&self, x: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        self.forward_into_tier(x, scratch, ForwardTier::Scalar)
+    }
+
+    /// [`Mlp::forward_into`] under an explicit kernel tier.
+    /// [`ForwardTier::Scalar`] is bitwise identical to
+    /// [`Mlp::forward_into`]; [`ForwardTier::Fast`] swaps tanh
+    /// activations for `fast_tanh` (see `simd` module docs for the
+    /// error bound and determinism contract).
+    pub fn forward_into_tier<'s>(
+        &self,
+        x: &[f32],
+        scratch: &'s mut MlpScratch,
+        tier: ForwardTier,
+    ) -> &'s [f32] {
         scratch.v0.clear();
         scratch.v0.extend_from_slice(x);
         for layer in &self.layers {
@@ -229,7 +243,7 @@ impl Mlp {
             // element starting from the bias, so zeroing would be a
             // wasted memset on the per-interval inference hot path.
             scratch.v1.resize(layer.w.cols, 0.0);
-            layer.forward_row_into(&scratch.v0, &mut scratch.v1);
+            layer.forward_row_into_tier(&scratch.v0, &mut scratch.v1, tier);
             std::mem::swap(&mut scratch.v0, &mut scratch.v1);
         }
         &scratch.v0
@@ -242,18 +256,33 @@ impl Mlp {
     /// corresponding input row — one matmul serves many flows or sweep
     /// cells without perturbing a single trajectory.
     pub fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut MlpScratch) {
+        self.forward_batch_into_tier(x, out, scratch, ForwardTier::Scalar);
+    }
+
+    /// [`Mlp::forward_batch_into`] under an explicit kernel tier. Each
+    /// output row is bitwise identical to
+    /// [`Mlp::forward_into_tier`] of the corresponding input row under
+    /// the same tier (pre-activations are tier-independent; only tanh
+    /// evaluation differs under [`ForwardTier::Fast`]).
+    pub fn forward_batch_into_tier(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut MlpScratch,
+        tier: ForwardTier,
+    ) {
         assert_eq!(x.cols, self.in_dim(), "batch input dimension mismatch");
         let n = self.layers.len();
         if n == 1 {
-            self.layers[0].forward_batch_into(x, out);
+            self.layers[0].forward_batch_into_tier(x, out, tier);
             return;
         }
-        self.layers[0].forward_batch_into(x, &mut scratch.m0);
+        self.layers[0].forward_batch_into_tier(x, &mut scratch.m0, tier);
         for layer in &self.layers[1..n - 1] {
-            layer.forward_batch_into(&scratch.m0, &mut scratch.m1);
+            layer.forward_batch_into_tier(&scratch.m0, &mut scratch.m1, tier);
             std::mem::swap(&mut scratch.m0, &mut scratch.m1);
         }
-        self.layers[n - 1].forward_batch_into(&scratch.m0, out);
+        self.layers[n - 1].forward_batch_into_tier(&scratch.m0, out, tier);
     }
 
     /// Backpropagates `grad_out` (∂L/∂output, same shape as the cached
@@ -411,6 +440,76 @@ mod tests {
                     assert_eq!(a.to_bits(), b.to_bits(), "row {r} drifted");
                 }
             }
+        }
+    }
+
+    /// The fast tier keeps the "batched == scalar rows, bitwise"
+    /// contract *within the tier*: fast batched rows are bitwise equal
+    /// to fast single-row forwards.
+    #[test]
+    fn fast_tier_batch_rows_bitwise_match_fast_single_rows() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (sizes, rows) in [
+            (&[5, 64, 32, 1][..], 7usize),
+            (&[3, 8, 2], 19),
+            (&[6, 6], 3),
+        ] {
+            let mlp = Mlp::new(sizes, Activation::Tanh, Activation::Linear, &mut rng);
+            let batch = Matrix::from_fn(rows, sizes[0], |r, c| {
+                ((r * 17 + c * 5) % 11) as f32 * 0.33 - 1.5
+            });
+            let mut scratch = MlpScratch::default();
+            let mut out = Matrix::default();
+            mlp.forward_batch_into_tier(&batch, &mut out, &mut scratch, ForwardTier::Fast);
+            let mut row_scratch = MlpScratch::default();
+            for r in 0..rows {
+                let single = mlp
+                    .forward_into_tier(batch.row(r), &mut row_scratch, ForwardTier::Fast)
+                    .to_vec();
+                for (a, b) in single.iter().zip(out.row(r)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fast row {r} drifted");
+                }
+            }
+        }
+    }
+
+    /// With no tanh layer there is nothing for the fast tier to
+    /// approximate: Fast and Scalar are bitwise identical, proving the
+    /// affine kernels themselves are tier-independent.
+    #[test]
+    fn fast_tier_is_bitwise_scalar_without_tanh_layers() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mlp = Mlp::new(&[9, 24, 3], Activation::Relu, Activation::Linear, &mut rng);
+        let batch = Matrix::from_fn(13, 9, |r, c| ((r + 3 * c) % 7) as f32 * 0.4 - 1.1);
+        let mut scratch = MlpScratch::default();
+        let (mut fast, mut scalar) = (Matrix::default(), Matrix::default());
+        mlp.forward_batch_into_tier(&batch, &mut fast, &mut scratch, ForwardTier::Fast);
+        mlp.forward_batch_into_tier(&batch, &mut scalar, &mut scratch, ForwardTier::Scalar);
+        for (a, b) in fast.data.iter().zip(&scalar.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Fast-tier outputs stay within the per-activation error budget
+    /// of the scalar reference on the paper's network shape.
+    #[test]
+    fn fast_tier_tracks_scalar_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mlp = Mlp::new(
+            &[33, 64, 32, 1],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng,
+        );
+        let batch = Matrix::from_fn(64, 33, |r, c| ((r * 13 + c * 3) % 17) as f32 * 0.12 - 1.0);
+        let mut scratch = MlpScratch::default();
+        let (mut fast, mut scalar) = (Matrix::default(), Matrix::default());
+        mlp.forward_batch_into_tier(&batch, &mut fast, &mut scratch, ForwardTier::Fast);
+        mlp.forward_batch_into(&batch, &mut scalar, &mut scratch);
+        for (i, (a, b)) in fast.data.iter().zip(&scalar.data).enumerate() {
+            // Per-tanh error ≤ 4e-6 amplified through two hidden
+            // layers of this width stays well under 1e-3.
+            assert!((a - b).abs() < 1e-3, "row {i}: fast {a} vs scalar {b}");
         }
     }
 

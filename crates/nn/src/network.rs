@@ -9,6 +9,7 @@
 
 use crate::matrix::Matrix;
 use crate::mlp::{ForwardCache, Mlp, MlpScratch};
+use crate::simd::ForwardTier;
 
 /// A differentiable network trainable by gradient descent.
 pub trait Network: Clone + Send {
@@ -40,6 +41,23 @@ pub trait Network: Clone + Send {
     /// output row is bitwise identical to [`Network::forward`] of the
     /// corresponding input row.
     fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut Self::Scratch);
+
+    /// [`Network::forward_batch_into`] under an explicit kernel tier
+    /// (see `mocc_nn::simd`). The default implementation ignores the
+    /// tier and runs the scalar reference — implementations without a
+    /// fast tier treat [`ForwardTier::Fast`] as
+    /// [`ForwardTier::Scalar`], which is always correct (the fast tier
+    /// is an approximation license, never an obligation).
+    fn forward_batch_into_tier(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut Self::Scratch,
+        tier: ForwardTier,
+    ) {
+        let _ = tier;
+        self.forward_batch_into(x, out, scratch);
+    }
 
     /// Batched forward pass returning a cache for backprop.
     fn forward_batch(&self, x: &Matrix) -> Self::Cache;
@@ -86,6 +104,16 @@ impl Network for Mlp {
 
     fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut MlpScratch) {
         Mlp::forward_batch_into(self, x, out, scratch)
+    }
+
+    fn forward_batch_into_tier(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut MlpScratch,
+        tier: ForwardTier,
+    ) {
+        Mlp::forward_batch_into_tier(self, x, out, scratch, tier)
     }
 
     fn forward_batch(&self, x: &Matrix) -> ForwardCache {

@@ -1,0 +1,461 @@
+//! The SIMD kernel layer: a vendored portable lane type, an optional
+//! AVX2 backend, and the opt-in fast-math forward tier.
+//!
+//! ## Tiers
+//!
+//! Every inference entry point takes (or defaults) a [`ForwardTier`]:
+//!
+//! - [`ForwardTier::Scalar`] is the bit-exact golden reference — the
+//!   exact kernels the goldens, the content-addressed cache, and the
+//!   training path were frozen against. `tanh` is libm's.
+//! - [`ForwardTier::Fast`] swaps the tanh activation for
+//!   [`fast_tanh`], a rational-polynomial approximation (documented
+//!   error bound below). Everything else — accumulation order, bias
+//!   handling, zero-skip — is unchanged, so pre-activation values are
+//!   bitwise identical to the scalar tier.
+//!
+//! ## Determinism model
+//!
+//! The fast tier is *approximate relative to scalar* but still fully
+//! deterministic in itself: every kernel here uses only IEEE-754
+//! single-precision `+`, `*`, `/`, and SSE-style `min`/`max` — all
+//! correctly rounded (or, for min/max, exactly specified) per lane —
+//! and never FMA, and never reorders an accumulation. A lane of the
+//! portable `F32x8` type therefore computes bit-for-bit the same
+//! value as the corresponding AVX2 lane, which is what licenses
+//! runtime dispatch: results cannot depend on the `simd` feature flag,
+//! the CPU the run landed on, or slice alignment. Cached blobs
+//! produced under `fast_math` are byte-stable across machines.
+//!
+//! ## `fast_tanh` error bound
+//!
+//! [`fast_tanh`] clamps to ±[`FAST_TANH_CLAMP`] and evaluates a
+//! degree-13/degree-6 rational approximation (the classic
+//! Eigen/XLA coefficient set) in f32. Against `f64::tanh` the maximum
+//! absolute error is below [`FAST_TANH_MAX_ABS_ERROR`] = 4e-6 over the
+//! whole real line (verified by a dense-grid test in this module), and
+//! the output is always in `[-1, 1]`. That is ~2 decimal digits
+//! tighter than the control loop's own rounding (reports round to
+//! 1e-6) but far looser than the 0-ULP scalar contract — which is why
+//! the tier is opt-in and carried in the cache key.
+//!
+//! ## Feature flag and dispatch
+//!
+//! The portable path compiles everywhere and needs no feature. The
+//! `simd` cargo feature additionally compiles the AVX2 backend
+//! (x86_64 only); at run time each kernel picks AVX2 when
+//! `is_x86_feature_detected!("avx2")` says so and falls back to the
+//! portable lanes otherwise. Because backends are bitwise identical,
+//! the feature is purely a performance knob.
+
+use crate::matrix::Matrix;
+
+/// Which forward-pass kernel tier an inference path runs. See the
+/// module docs for the contract; `Scalar` is the default everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ForwardTier {
+    /// Bit-exact reference kernels (libm `tanh`); the tier all goldens
+    /// and the training path use.
+    #[default]
+    Scalar,
+    /// Approximate-math kernels: [`fast_tanh`] activation, same
+    /// accumulation order. Deterministic, but not bitwise equal to
+    /// `Scalar`.
+    Fast,
+}
+
+impl ForwardTier {
+    /// True for the approximate tier.
+    pub fn is_fast(self) -> bool {
+        matches!(self, ForwardTier::Fast)
+    }
+}
+
+/// Saturation threshold of [`fast_tanh`]: beyond this |x| the f32
+/// result of `tanh` is exactly ±1, so inputs are clamped here before
+/// the polynomial (which would otherwise leave its fitted range).
+pub const FAST_TANH_CLAMP: f32 = 7.905_311_f32;
+
+/// Documented bound on `|fast_tanh(x) - tanh(x)|` over all of ℝ
+/// (tested against `f64::tanh` on a dense grid below).
+pub const FAST_TANH_MAX_ABS_ERROR: f32 = 4e-6;
+
+// Rational-approximation coefficients for tanh on the clamped range:
+// numerator x·P(x²) of degree 13, denominator Q(x²) of degree 6. This
+// is the well-known single-precision coefficient set used by Eigen and
+// XLA; evaluated in Horner form with plain mul/add (no FMA).
+const ALPHA_1: f32 = 4.893_524_6e-3;
+const ALPHA_3: f32 = 6.372_619_3e-4;
+const ALPHA_5: f32 = 1.485_722_4e-5;
+const ALPHA_7: f32 = 5.122_297_1e-8;
+const ALPHA_9: f32 = -8.604_672e-11;
+const ALPHA_11: f32 = 2.000_188e-13;
+const ALPHA_13: f32 = -2.760_768_5e-16;
+const BETA_0: f32 = 4.893_525e-3;
+const BETA_2: f32 = 2.268_434_6e-3;
+const BETA_4: f32 = 1.185_347_1e-4;
+const BETA_6: f32 = 1.198_258_4e-6;
+
+/// SSE-semantics minimum: returns `b` when the comparison is
+/// unordered (matches `_mm256_min_ps(a, b)` exactly, unlike
+/// `f32::min`), so the scalar clamp is bitwise equal to the vector
+/// clamp even for NaN inputs.
+#[inline(always)]
+fn sse_min(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// SSE-semantics maximum; see [`sse_min`].
+#[inline(always)]
+fn sse_max(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Fast hyperbolic tangent: clamp to ±[`FAST_TANH_CLAMP`], then a
+/// degree-13/6 rational polynomial in f32. Maximum absolute error
+/// below [`FAST_TANH_MAX_ABS_ERROR`]; uses only correctly rounded
+/// `+`/`*`/`/` and SSE min/max, so it is bitwise identical to one
+/// lane of the vector backends.
+#[inline(always)]
+pub fn fast_tanh(x: f32) -> f32 {
+    let x = sse_max(sse_min(x, FAST_TANH_CLAMP), -FAST_TANH_CLAMP);
+    let x2 = x * x;
+    let mut p = ALPHA_13;
+    p = p * x2 + ALPHA_11;
+    p = p * x2 + ALPHA_9;
+    p = p * x2 + ALPHA_7;
+    p = p * x2 + ALPHA_5;
+    p = p * x2 + ALPHA_3;
+    p = p * x2 + ALPHA_1;
+    let p = p * x;
+    let mut q = BETA_6;
+    q = q * x2 + BETA_4;
+    q = q * x2 + BETA_2;
+    q = q * x2 + BETA_0;
+    p / q
+}
+
+/// The vendored portable lane type: eight f32 lanes computed with
+/// plain scalar IEEE arithmetic. This is the reference backend the
+/// AVX2 path must (and does) match bit for bit; on non-x86 targets or
+/// `simd`-feature-off builds it is also the only backend.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct F32x8(pub(crate) [f32; 8]);
+
+impl F32x8 {
+    /// Number of lanes.
+    pub(crate) const LANES: usize = 8;
+
+    #[inline(always)]
+    pub(crate) fn splat(v: f32) -> Self {
+        F32x8([v; 8])
+    }
+
+    #[inline(always)]
+    pub(crate) fn load(slice: &[f32]) -> Self {
+        let mut lanes = [0.0f32; 8];
+        lanes.copy_from_slice(&slice[..8]);
+        F32x8(lanes)
+    }
+
+    #[inline(always)]
+    pub(crate) fn store(self, slice: &mut [f32]) {
+        slice[..8].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    fn map2(self, o: Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        let mut lanes = [0.0f32; 8];
+        for ((out, a), b) in lanes.iter_mut().zip(self.0).zip(o.0) {
+            *out = f(a, b);
+        }
+        F32x8(lanes)
+    }
+
+    #[inline(always)]
+    pub(crate) fn add(self, o: Self) -> Self {
+        self.map2(o, |a, b| a + b)
+    }
+
+    #[inline(always)]
+    pub(crate) fn mul(self, o: Self) -> Self {
+        self.map2(o, |a, b| a * b)
+    }
+
+    #[inline(always)]
+    pub(crate) fn div(self, o: Self) -> Self {
+        self.map2(o, |a, b| a / b)
+    }
+
+    #[inline(always)]
+    pub(crate) fn min(self, o: Self) -> Self {
+        self.map2(o, sse_min)
+    }
+
+    #[inline(always)]
+    pub(crate) fn max(self, o: Self) -> Self {
+        self.map2(o, sse_max)
+    }
+}
+
+/// [`fast_tanh`] over one portable lane vector — the same Horner
+/// chain, lane-wise.
+#[inline(always)]
+fn fast_tanh_lanes(x: F32x8) -> F32x8 {
+    let clamp = F32x8::splat(FAST_TANH_CLAMP);
+    let x = x.min(clamp).max(F32x8::splat(-FAST_TANH_CLAMP));
+    let x2 = x.mul(x);
+    let mut p = F32x8::splat(ALPHA_13);
+    p = p.mul(x2).add(F32x8::splat(ALPHA_11));
+    p = p.mul(x2).add(F32x8::splat(ALPHA_9));
+    p = p.mul(x2).add(F32x8::splat(ALPHA_7));
+    p = p.mul(x2).add(F32x8::splat(ALPHA_5));
+    p = p.mul(x2).add(F32x8::splat(ALPHA_3));
+    p = p.mul(x2).add(F32x8::splat(ALPHA_1));
+    let p = p.mul(x);
+    let mut q = F32x8::splat(BETA_6);
+    q = q.mul(x2).add(F32x8::splat(BETA_4));
+    q = q.mul(x2).add(F32x8::splat(BETA_2));
+    q = q.mul(x2).add(F32x8::splat(BETA_0));
+    p.div(q)
+}
+
+/// True when the CPU has AVX2 (only compiled alongside the AVX2
+/// backend; the stdlib caches the cpuid probe, so this is a load and a
+/// branch).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline(always)]
+fn use_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Applies [`fast_tanh`] to every element in place, runtime-dispatched
+/// to the best available backend. All backends are bitwise identical.
+pub fn fast_tanh_slice(xs: &mut [f32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if use_avx2() {
+        // SAFETY: AVX2 availability was just verified at run time.
+        unsafe { avx2::fast_tanh_slice(xs) };
+        return;
+    }
+    let mut chunks = xs.chunks_exact_mut(F32x8::LANES);
+    for chunk in &mut chunks {
+        fast_tanh_lanes(F32x8::load(chunk)).store(chunk);
+    }
+    for x in chunks.into_remainder() {
+        *x = fast_tanh(*x);
+    }
+}
+
+/// `out[i] += a * w[i]` with one rounding per element (mul then add,
+/// no FMA) — the inner kernel of [`Matrix::accumulate`] and the dense
+/// layers' row forward. Each output element is an independent
+/// accumulator, so vectorizing across elements preserves the scalar
+/// accumulation order exactly: every backend is bitwise identical to
+/// the plain loop.
+#[inline]
+pub(crate) fn axpy(out: &mut [f32], a: f32, w: &[f32]) {
+    debug_assert_eq!(out.len(), w.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if use_avx2() {
+        // SAFETY: AVX2 availability was just verified at run time.
+        unsafe { avx2::axpy(out, a, w) };
+        return;
+    }
+    for (o, &b) in out.iter_mut().zip(w) {
+        *o += a * b;
+    }
+}
+
+/// Applies `act` elementwise under a tier: the fast tier swaps tanh
+/// for [`fast_tanh_slice`], every other (activation, tier) pair is the
+/// scalar reference (`Relu`/`Linear` are exact in both tiers).
+pub(crate) fn apply_activation(act: crate::mlp::Activation, tier: ForwardTier, xs: &mut [f32]) {
+    use crate::mlp::Activation;
+    match (act, tier) {
+        (Activation::Tanh, ForwardTier::Fast) => fast_tanh_slice(xs),
+        (act, _) => {
+            for x in xs {
+                *x = act.apply(*x);
+            }
+        }
+    }
+}
+
+/// The accumulation step of a batched matmul, `out += x · w`, with the
+/// frozen traversal order (K_BLOCK tiles of ascending k, zero-skip)
+/// and the dispatched [`axpy`] inner kernel. Bitwise identical to the
+/// historical scalar loop on every backend.
+pub(crate) fn accumulate(x: &Matrix, w: &Matrix, out: &mut Matrix) {
+    let width = w.cols;
+    for kk in (0..x.cols).step_by(crate::matrix::K_BLOCK) {
+        let kend = (kk + crate::matrix::K_BLOCK).min(x.cols);
+        for r in 0..x.rows {
+            let xrow = x.row(r);
+            let out_row = &mut out.data[r * width..(r + 1) * width];
+            for (dk, &a) in xrow[kk..kend].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                axpy(out_row, a, w.row(kk + dk));
+            }
+        }
+    }
+}
+
+/// The AVX2 backend, compiled only under `--features simd` on x86_64
+/// and entered only after runtime detection. Every intrinsic used is a
+/// per-lane correctly rounded IEEE op (`mul_ps`/`add_ps`/`div_ps`) or
+/// the exactly specified `min_ps`/`max_ps`, mirroring the portable
+/// lanes bit for bit; FMA is deliberately never used.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fast_tanh_slice(xs: &mut [f32]) {
+        let hi = _mm256_set1_ps(FAST_TANH_CLAMP);
+        let lo = _mm256_set1_ps(-FAST_TANH_CLAMP);
+        let mut chunks = xs.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let x = _mm256_loadu_ps(chunk.as_ptr());
+            let x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+            let x2 = _mm256_mul_ps(x, x);
+            let mut p = _mm256_set1_ps(ALPHA_13);
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_11));
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_9));
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_7));
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_5));
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_3));
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_1));
+            let p = _mm256_mul_ps(p, x);
+            let mut q = _mm256_set1_ps(BETA_6);
+            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_4));
+            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_2));
+            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_0));
+            _mm256_storeu_ps(chunk.as_mut_ptr(), _mm256_div_ps(p, q));
+        }
+        for x in chunks.into_remainder() {
+            *x = fast_tanh(*x);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy(out: &mut [f32], a: f32, w: &[f32]) {
+        debug_assert_eq!(out.len(), w.len());
+        let av = _mm256_set1_ps(a);
+        let n = out.len() / 8 * 8;
+        for i in (0..n).step_by(8) {
+            let o = _mm256_loadu_ps(out.as_ptr().add(i));
+            let b = _mm256_loadu_ps(w.as_ptr().add(i));
+            _mm256_storeu_ps(
+                out.as_mut_ptr().add(i),
+                _mm256_add_ps(o, _mm256_mul_ps(av, b)),
+            );
+        }
+        for i in n..out.len() {
+            out[i] += a * w[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense-grid verification of the documented error bound, plus the
+    /// range contract: |fast_tanh| ≤ 1 and exact sign symmetry.
+    #[test]
+    fn fast_tanh_error_bound_holds_on_a_dense_grid() {
+        let mut worst = 0.0f64;
+        // 1.2M points over [-12, 12] — well past the clamp on both
+        // sides, dense enough (2e-5 spacing) to pin the polynomial.
+        for i in 0..=1_200_000 {
+            let x = -12.0 + i as f64 * 2e-5;
+            let got = fast_tanh(x as f32) as f64;
+            let want = x.tanh();
+            worst = worst.max((got - want).abs());
+            assert!(got.abs() <= 1.0, "fast_tanh({x}) = {got} escapes [-1, 1]");
+        }
+        assert!(
+            worst < FAST_TANH_MAX_ABS_ERROR as f64,
+            "worst abs error {worst:.3e} exceeds the documented bound"
+        );
+    }
+
+    #[test]
+    fn fast_tanh_is_odd_and_saturates() {
+        for x in [0.0f32, 0.3, 1.7, 5.0, 7.9, 8.0, 100.0, f32::INFINITY] {
+            assert_eq!(
+                fast_tanh(x).to_bits(),
+                (-fast_tanh(-x)).to_bits(),
+                "odd symmetry broke at {x}"
+            );
+        }
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert!((fast_tanh(100.0) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(f32::INFINITY) - 1.0).abs() < 1e-6);
+    }
+
+    /// The slice kernel (whatever backend dispatch picked) is bitwise
+    /// identical to the scalar reference on every element — including
+    /// lengths that exercise the vector tail.
+    #[test]
+    fn fast_tanh_slice_is_bitwise_identical_to_scalar() {
+        for len in [0usize, 1, 7, 8, 9, 16, 33, 1000] {
+            let xs: Vec<f32> = (0..len)
+                .map(|i| (i as f32 - len as f32 / 2.0) * 0.37)
+                .collect();
+            let mut got = xs.clone();
+            fast_tanh_slice(&mut got);
+            for (i, (&x, &g)) in xs.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    fast_tanh(x).to_bits(),
+                    "lane {i} of {len} diverged from the scalar reference"
+                );
+            }
+        }
+    }
+
+    /// The dispatched axpy is bitwise identical to the plain loop —
+    /// the property that lets [`accumulate`] keep the frozen golden
+    /// bytes regardless of backend.
+    #[test]
+    fn axpy_is_bitwise_identical_to_the_plain_loop() {
+        for len in [0usize, 1, 5, 8, 13, 64, 100] {
+            let w: Vec<f32> = (0..len).map(|i| (i as f32 * 0.713).sin()).collect();
+            let base: Vec<f32> = (0..len).map(|i| (i as f32 * 1.37).cos()).collect();
+            let a = 0.8137f32;
+            let mut got = base.clone();
+            axpy(&mut got, a, &w);
+            let mut want = base.clone();
+            for (o, &b) in want.iter_mut().zip(&w) {
+                *o += a * b;
+            }
+            for (i, (g, e)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), e.to_bits(), "element {i} of {len} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_default_is_scalar() {
+        assert_eq!(ForwardTier::default(), ForwardTier::Scalar);
+        assert!(!ForwardTier::Scalar.is_fast());
+        assert!(ForwardTier::Fast.is_fast());
+    }
+}

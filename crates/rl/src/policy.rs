@@ -8,7 +8,7 @@
 //! used as the mean network.
 
 use mocc_nn::rng::{gaussian_entropy, gaussian_log_prob, normal};
-use mocc_nn::{Matrix, Mlp, Network};
+use mocc_nn::{ForwardTier, Matrix, Mlp, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -140,8 +140,22 @@ impl<N: Network> GaussianPolicy<N> {
         out: &mut Vec<f32>,
         scratch: &mut PolicyScratch<N>,
     ) {
+        self.mean_action_batch_tier(obs, out, scratch, ForwardTier::Scalar);
+    }
+
+    /// [`GaussianPolicy::mean_action_batch`] under an explicit forward
+    /// kernel tier (see `mocc_nn::simd`): `Scalar` is the bit-exact
+    /// reference, `Fast` permits the approximate tanh kernels for
+    /// networks that implement them (others fall back to scalar).
+    pub fn mean_action_batch_tier(
+        &self,
+        obs: &Matrix,
+        out: &mut Vec<f32>,
+        scratch: &mut PolicyScratch<N>,
+        tier: ForwardTier,
+    ) {
         self.net
-            .forward_batch_into(obs, &mut scratch.means, &mut scratch.net);
+            .forward_batch_into_tier(obs, &mut scratch.means, &mut scratch.net, tier);
         out.clear();
         out.extend((0..scratch.means.rows).map(|r| scratch.means.get(r, 0)));
     }

@@ -557,6 +557,33 @@ mod tests {
         assert!(reopened.verify().unwrap().is_clean());
     }
 
+    /// The ledger contract the CLI's `--older-than-days` cutoff is
+    /// computed against: an entry last touched *exactly at* `before`
+    /// survives; only strictly-older entries are dropped. A hit after
+    /// the put refreshes the last-touch time, so recently-read keys
+    /// survive even when their put is ancient.
+    #[test]
+    fn gc_cutoff_boundary_keeps_entries_touched_at_the_cutoff() {
+        let store = temp_store("gc-boundary");
+        let (at, older, refreshed) = (key("at"), key("older"), key("refreshed"));
+        store.put(&older, "older blob", 99).unwrap();
+        store.put(&at, "at blob", 100).unwrap();
+        store.put(&refreshed, "refreshed blob", 50).unwrap();
+        assert!(store.get(&refreshed, 120).is_some(), "hit refreshes touch");
+
+        let report = store.gc(Some(100)).unwrap();
+        assert_eq!(report.kept, 2, "{report:?}");
+        assert!(
+            store.get(&at, 130).is_some(),
+            "ts == cutoff must survive (strictly-older contract)"
+        );
+        assert!(
+            store.get(&refreshed, 131).is_some(),
+            "a hit at ts 120 outlives the put at ts 50"
+        );
+        assert!(store.get(&older, 132).is_none(), "ts 99 < 100 is dropped");
+    }
+
     #[test]
     fn malformed_keys_are_rejected() {
         let store = temp_store("badkey");

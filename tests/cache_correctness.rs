@@ -98,6 +98,7 @@ fn small_experiment(seed: u64) -> ExperimentSpec {
             preference: MoccPrefSpec::Balanced,
             initial_rate_frac: 0.3,
             batch: rng.gen_range(1usize..8),
+            fast_math: rng.gen_bool(0.25),
         });
     }
     exp
@@ -116,6 +117,7 @@ fn identity(exp: &ExperimentSpec) -> Option<PolicyIdentity> {
         digest: policy_digest(&agent),
         preference: policy.preference.label(),
         initial_rate_frac: policy.initial_rate_frac,
+        fast_math: policy.fast_math,
     })
 }
 
@@ -201,6 +203,7 @@ fn name_threads_and_batch_never_move_a_key() {
         preference: MoccPrefSpec::Balanced,
         initial_rate_frac: 0.3,
         batch: 4,
+        fast_math: false,
     });
     let before = cell_keys(&exp);
     exp.name = "a-completely-different-name".to_string();
@@ -236,6 +239,7 @@ fn semantic_mutations_move_every_key() {
         preference: MoccPrefSpec::Balanced,
         initial_rate_frac: 0.3,
         batch: 4,
+        fast_math: false,
     };
     let exp_with = |matrix: &SweepSpec, scheme: &str, policy: Option<PolicySpec>| {
         let mut exp = ExperimentSpec::from_sweep(
@@ -282,6 +286,11 @@ fn semantic_mutations_move_every_key() {
         ("policy initial_rate_frac", {
             let mut p = policy.clone();
             p.initial_rate_frac = 0.5;
+            exp_with(&base, "mocc", Some(p))
+        }),
+        ("policy fast_math (inference tier)", {
+            let mut p = policy.clone();
+            p.fast_math = true;
             exp_with(&base, "mocc", Some(p))
         }),
     ];

@@ -123,6 +123,7 @@ fn golden_policy() -> PolicySpec {
         preference: MoccPrefSpec::Balanced,
         initial_rate_frac: 0.3,
         batch: 4,
+        fast_math: false,
     }
 }
 

@@ -8,7 +8,7 @@ use mocc::eval::{
 use mocc::netsim::cc::{Aimd, CongestionControl, FixedRate};
 use mocc::netsim::metrics::jain_index;
 use mocc::netsim::{FlowSpec, Scenario, Simulator};
-use mocc::nn::Matrix;
+use mocc::nn::{Activation, ForwardTier, Matrix, Mlp, MlpScratch};
 use mocc::rl::{GaussianPolicy, PolicyScratch};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -91,6 +91,7 @@ fn random_experiment(seed: u64) -> ExperimentSpec {
             config: if rng.gen_bool(0.5) { "fast" } else { "default" }.to_string(),
             initial_rate_frac: rng.gen_range(0.05f64..1.0),
             batch: rng.gen_range(1usize..64),
+            fast_math: rng.gen_bool(0.25),
             ..PolicySpec::default()
         });
     }
@@ -315,6 +316,46 @@ proptest! {
             prop_assert_eq!(batched[r].0.to_bits(), a.to_bits());
             prop_assert_eq!(batched[r].1.to_bits(), lp.to_bits());
             prop_assert_eq!(means[r].to_bits(), pol.mean_action(obs.row(r)).to_bits());
+        }
+    }
+
+    /// The fast-math tier tracks the scalar reference across random
+    /// layer shapes and batch sizes: pre-activations are bitwise
+    /// shared, so the whole-network divergence stays within a small
+    /// multiple of the documented per-tanh kernel bound
+    /// (`mocc::nn::simd::FAST_TANH_MAX_ABS_ERROR`), and batched fast
+    /// rows are bitwise identical to single-row fast inference.
+    #[test]
+    fn fast_tier_tracks_scalar_forward_within_bound(
+        net_seed in 0u64..1_000,
+        obs_dim in 1usize..12,
+        h1 in 1usize..48,
+        h2 in 0usize..24,
+        rows in 1usize..40,
+    ) {
+        let mut nrng = StdRng::seed_from_u64(net_seed);
+        let mut sizes = vec![obs_dim, h1];
+        if h2 > 0 { sizes.push(h2); }
+        sizes.push(1);
+        let mlp = Mlp::new(&sizes, Activation::Tanh, Activation::Linear, &mut nrng);
+        let obs = Matrix::from_fn(rows, obs_dim, |r, c| {
+            // Deterministic mix with exact zeros to hit the sparsity skip.
+            if (r + c) % 4 == 0 { 0.0 } else { ((r * 31 + c * 7) % 17) as f32 * 0.13 - 1.0 }
+        });
+        let mut scratch = MlpScratch::default();
+        let mut fast = Matrix::zeros(0, 0);
+        mlp.forward_batch_into_tier(&obs, &mut fast, &mut scratch, ForwardTier::Fast);
+        let fast_out: Vec<f32> = (0..rows).map(|r| fast.get(r, 0)).collect();
+        let mut scalar = Matrix::zeros(0, 0);
+        mlp.forward_batch_into_tier(&obs, &mut scalar, &mut scratch, ForwardTier::Scalar);
+        for (r, &f) in fast_out.iter().enumerate() {
+            let s = scalar.get(r, 0);
+            prop_assert!(
+                (f - s).abs() <= 1e-3,
+                "row {}: fast {} vs scalar {} diverged past the bound", r, f, s
+            );
+            let single = mlp.forward_into_tier(obs.row(r), &mut scratch, ForwardTier::Fast)[0];
+            prop_assert_eq!(single.to_bits(), f.to_bits());
         }
     }
 
