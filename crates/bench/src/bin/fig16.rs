@@ -7,7 +7,7 @@
 //! trade-off that makes ω = 36 the paper's choice.
 
 use mocc_bench::{header, mean_reward, row, with_agent_mi};
-use mocc_core::{MoccAgent, MoccCc, MoccConfig, Preference, TrainRegime};
+use mocc_core::{MoccAgent, MoccCc, Preference};
 use mocc_netsim::metrics::percentile;
 use mocc_netsim::{ScenarioRange, Simulator};
 use rand::rngs::StdRng;
@@ -52,19 +52,17 @@ fn main() {
         let (agent, wall, iters) = if let Ok(a) = MoccAgent::load(&cache) {
             (a, f64::NAN, 0)
         } else {
-            let cfg = MoccConfig {
-                omega_step: k,
-                ..MoccConfig::default()
+            let spec = mocc_core::TrainSpec {
+                name: format!("fig16-omega-{omega}"),
+                seed: 7,
+                config: "default".to_string(),
+                omega_step: Some(k),
+                ..mocc_core::TrainSpec::default()
             };
-            let mut a = MoccAgent::new(cfg, &mut rng);
-            let out = mocc_core::train_offline(
-                &mut a,
-                ScenarioRange::training(),
-                TrainRegime::Transfer,
-                7,
-            );
-            a.save(&cache).expect("cache omega model");
-            (a, out.wall_secs, out.iterations)
+            let run = mocc_core::train_spec(&spec, &mocc_core::TrainOptions::default())
+                .expect("fig16 spec is valid");
+            run.agent.save(&cache).expect("cache omega model");
+            (run.agent, run.outcome.wall_secs, run.outcome.iterations)
         };
         let mut rewards: Vec<f64> = Vec::new();
         for sc in &conditions {

@@ -7,26 +7,28 @@
 //! from parallelism (Ray); our parallel factor is bounded by the
 //! machine's cores.
 
-use mocc_core::{MoccAgent, MoccConfig, TrainRegime};
-use mocc_netsim::ScenarioRange;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mocc_core::{TrainRegime, TrainSpec};
 
 fn main() {
     let full = mocc_bench::full_scale();
     // A reduced-but-proportional budget: individual training gives each
     // of the ω landmarks the full bootstrap budget; transfer gives it
     // only to the 3 pivots plus a few traversal iterations per landmark.
-    let cfg = MoccConfig {
-        omega_step: if full { 10 } else { 6 }, // ω = 36 or 10
-        boot_iters: if full { 100 } else { 40 },
-        traverse_iters: 2,
-        traverse_cycles: 2,
-        rollout_steps: 200,
-        episode_mis: 200,
-        ..MoccConfig::default()
+    let base = TrainSpec {
+        seed: 7,
+        config: "default".to_string(),
+        omega_step: Some(if full { 10 } else { 6 }), // ω = 36 or 10
+        boot_iters: Some(if full { 100 } else { 40 }),
+        traverse_iters: Some(2),
+        traverse_cycles: Some(2),
+        rollout_steps: Some(200),
+        episode_mis: Some(200),
+        // Serial rollouts by default; the transfer-parallel regime
+        // raises this to 4 lockstep envs, which is the comparison.
+        batch_envs: 1,
+        ..TrainSpec::default()
     };
-    let range = ScenarioRange::training();
+    let cfg = base.resolved_config().expect("fig19 base spec is valid");
 
     println!(
         "== Figure 19: training time by regime (omega = {}) ==",
@@ -38,14 +40,18 @@ fn main() {
         ("transfer", TrainRegime::Transfer),
         ("transfer+parallel", TrainRegime::TransferParallel),
     ] {
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut agent = MoccAgent::new(cfg, &mut rng);
-        let out = mocc_core::train_offline(&mut agent, range, regime, 7);
+        let spec = TrainSpec {
+            name: format!("fig19-{}", mocc_core::regime_label(regime)),
+            regime,
+            ..base.clone()
+        };
+        let run = mocc_core::train_spec(&spec, &mocc_core::TrainOptions::default())
+            .expect("fig19 spec is valid");
         println!(
             "{name:<20} {:>7} iterations {:>9.1} s wall",
-            out.iterations, out.wall_secs
+            run.outcome.iterations, run.outcome.wall_secs
         );
-        results.push((name, out.wall_secs));
+        results.push((name, run.outcome.wall_secs));
     }
     let individual = results[0].1;
     for (name, wall) in &results[1..] {

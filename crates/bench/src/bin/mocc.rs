@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! mocc run <spec.json> [--threads N] [--batch N] [--fast-math] [--out FILE] [--cache] [--cache-dir DIR]
+//! mocc train <spec.json> [--zoo DIR] [--resume DIR] [--out FILE] [--max-iters N]
 //! mocc validate <spec.json>...
 //! mocc list-schemes
 //! mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
@@ -19,16 +20,26 @@
 //! before are served from disk, only missing cells are simulated, and
 //! the report bytes are identical either way.
 //!
-//! `validate` checks documents without running anything; every
-//! problem is a typed [`SpecError`] naming the offending label or
-//! field. `list-schemes` prints the scheme vocabulary and the label
+//! `train` runs a [`TrainSpec`] document (see `docs/TRAINING.md`)
+//! through the checkpointed offline trainer and lands the artifact in
+//! the model zoo (`models/` by default) with provenance — spec digest,
+//! seed, iteration count, final eval metrics. Runs checkpoint
+//! periodically; a killed run resumed with `--resume` produces a
+//! byte-identical final model.
+//!
+//! `validate` checks documents without running anything — experiment
+//! and train specs alike, dispatching on the document's `kind` — and
+//! every problem is a typed [`SpecError`] naming the offending label
+//! or field. `list-schemes` prints the scheme vocabulary and the label
 //! grammar. `cache` inspects and maintains the store; `serve` answers
 //! spec requests over a line-delimited JSON protocol (stdin/stdout,
 //! or a Unix socket with `--socket`), sharing one store across
 //! clients.
 //!
 //! [`SpecError`]: mocc_eval::SpecError
+//! [`TrainSpec`]: mocc_core::TrainSpec
 
+use mocc_core::{TrainOptions, TrainSpec};
 use mocc_eval::{ExperimentSpec, SchemeRegistry, SweepRunner};
 use mocc_store::ResultStore;
 use serde::{Deserialize, Serialize, Value};
@@ -42,6 +53,7 @@ mocc — run declarative MOCC experiment specs (docs/SPECS.md)
 
 USAGE:
     mocc run <spec.json> [--threads N] [--batch N] [--fast-math] [--out FILE] [--cache] [--cache-dir DIR]
+    mocc train <spec.json> [--zoo DIR] [--resume DIR] [--out FILE] [--max-iters N]
     mocc validate <spec.json>...
     mocc list-schemes
     mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
@@ -57,6 +69,14 @@ OPTIONS (run):
     --cache-dir DIR  store location (implies --cache; default:
                      $MOCC_CACHE_DIR or target/mocc-cache/store)
 
+OPTIONS (train):
+    --zoo DIR      model zoo directory (default: $MOCC_ZOO_DIR or models)
+    --resume DIR   resume from the checkpoints in DIR (and keep
+                   checkpointing there)
+    --out FILE     also copy the final model.json to FILE
+    --max-iters N  stop after N total schedule iterations (the run can
+                   be resumed later)
+
 OPTIONS (cache gc):
     --older-than-days N  also drop entries untouched for more than N days
 
@@ -68,11 +88,16 @@ OPTIONS (serve):
 const CACHE_DIR_ENV: &str = "MOCC_CACHE_DIR";
 /// Fallback store directory (relative to the working directory).
 const DEFAULT_CACHE_DIR: &str = "target/mocc-cache/store";
+/// Environment variable naming the default model zoo directory.
+const ZOO_DIR_ENV: &str = "MOCC_ZOO_DIR";
+/// Fallback zoo directory (relative to the working directory).
+const DEFAULT_ZOO_DIR: &str = "models";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list-schemes") => cmd_list_schemes(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
@@ -122,6 +147,21 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
             "--older-than-days" => {
                 opts.older_than_days = Some(parse_count(&mut it, "--older-than-days")? as u64)
             }
+            "--zoo" => {
+                opts.zoo = Some(
+                    it.next()
+                        .ok_or_else(|| "--zoo needs a directory path".to_string())?
+                        .clone(),
+                )
+            }
+            "--resume" => {
+                opts.resume = Some(
+                    it.next()
+                        .ok_or_else(|| "--resume needs a checkpoint directory".to_string())?
+                        .clone(),
+                )
+            }
+            "--max-iters" => opts.max_iters = Some(parse_count(&mut it, "--max-iters")?),
             "--socket" => {
                 opts.socket = Some(
                     it.next()
@@ -148,6 +188,9 @@ struct Options {
     cache_dir: Option<String>,
     older_than_days: Option<u64>,
     socket: Option<String>,
+    zoo: Option<String>,
+    resume: Option<String>,
+    max_iters: Option<usize>,
 }
 
 impl Options {
@@ -178,6 +221,17 @@ impl Options {
         match self.threads {
             Some(n) => SweepRunner::with_threads(n),
             None => SweepRunner::auto(),
+        }
+    }
+
+    /// The model zoo root: `--zoo`, else `$MOCC_ZOO_DIR`, else the
+    /// in-repo default.
+    fn zoo_root(&self) -> PathBuf {
+        match &self.zoo {
+            Some(dir) => PathBuf::from(dir),
+            None => std::env::var(ZOO_DIR_ENV)
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from(DEFAULT_ZOO_DIR)),
         }
     }
 }
@@ -216,6 +270,21 @@ fn load_spec(path: &str) -> Result<ExperimentSpec, String> {
     ExperimentSpec::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Best-effort peek at a spec document's `kind` tag, for dispatching
+/// between experiment and train specs. Unreadable or malformed files
+/// return `None` and fall through to the full parser, which owns the
+/// real error message.
+fn spec_kind(path: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let Value::Obj(obj) = serde_json::from_str(&text).ok()? else {
+        return None;
+    };
+    match obj.get("kind") {
+        Some(Value::Str(kind)) => Some(kind.clone()),
+        _ => None,
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (positional, opts) = split_options(args)?;
     if opts.socket.is_some() || opts.older_than_days.is_some() {
@@ -224,6 +293,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let &[path] = positional.as_slice() else {
         return Err(format!("`mocc run` takes exactly one spec file\n\n{USAGE}"));
     };
+    if spec_kind(path).as_deref() == Some("train") {
+        return Err(format!(
+            "{path} is a training spec — run it with `mocc train {path}`"
+        ));
+    }
     let mut exp = load_spec(path)?;
     if let Some(batch) = opts.batch {
         match &mut exp.policy {
@@ -277,6 +351,74 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs (or resumes) one training spec through the checkpointed
+/// trainer; a completed run lands in the zoo with provenance.
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    if opts.threads.is_some()
+        || opts.batch.is_some()
+        || opts.fast_math
+        || opts.cache
+        || opts.socket.is_some()
+        || opts.older_than_days.is_some()
+    {
+        return Err("`mocc train` takes only --zoo, --resume, --out, and --max-iters".to_string());
+    }
+    let &[path] = positional.as_slice() else {
+        return Err(format!(
+            "`mocc train` takes exactly one spec file\n\n{USAGE}"
+        ));
+    };
+    let spec = TrainSpec::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    spec.validate().map_err(|e| format!("{path}: {e}"))?;
+
+    let zoo = opts.zoo_root();
+    let checkpoint_dir = match &opts.resume {
+        Some(dir) => PathBuf::from(dir),
+        None => zoo.join(&spec.name).join("checkpoints"),
+    };
+    let train_opts = TrainOptions {
+        checkpoint_dir: Some(checkpoint_dir.clone()),
+        resume_from: opts.resume.as_ref().map(PathBuf::from),
+        max_iters: opts.max_iters,
+    };
+    let total = spec.schedule_len().map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "[mocc] train {}: {} scheduled iterations, spec digest {}",
+        spec.name,
+        total,
+        &spec.digest()[..12]
+    );
+
+    let run = mocc_core::train_spec(&spec, &train_opts).map_err(|e| format!("{path}: {e}"))?;
+    if !run.completed {
+        eprintln!(
+            "[mocc] train {}: stopped at iteration {} of {}; resume with \
+             `mocc train {path} --zoo {} --resume {}`",
+            spec.name,
+            run.outcome.iterations,
+            total,
+            zoo.display(),
+            checkpoint_dir.display()
+        );
+        return Ok(());
+    }
+    let model_path = mocc_core::save_trained(&zoo, &spec, &run.agent, run.outcome.iterations)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "[mocc] train {}: {} iterations in {:.1}s -> {}",
+        spec.name,
+        run.outcome.iterations,
+        run.outcome.wall_secs,
+        model_path.display()
+    );
+    if let Some(out) = &opts.out {
+        std::fs::copy(&model_path, out).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("[mocc] train {}: copied model to {out}", spec.name);
+    }
+    Ok(())
+}
+
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let (positional, opts) = split_options(args)?;
     if positional.is_empty() {
@@ -287,12 +429,34 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         || opts.out.is_some()
         || opts.cache
         || opts.fast_math
+        || opts.zoo.is_some()
+        || opts.resume.is_some()
+        || opts.max_iters.is_some()
     {
         return Err("`mocc validate` takes no options".to_string());
     }
     let registry = SchemeRegistry::builtin();
     let mut failures = 0usize;
     for path in &positional {
+        if spec_kind(path).as_deref() == Some("train") {
+            match TrainSpec::load(Path::new(path))
+                .and_then(|spec| spec.validate().map(|()| spec))
+                .map_err(|e| format!("{path}: {e}"))
+            {
+                Ok(spec) => {
+                    println!(
+                        "{path}: ok (train, {} iterations, model {})",
+                        spec.schedule_len().expect("validated"),
+                        spec.name
+                    );
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    failures += 1;
+                }
+            }
+            continue;
+        }
         match load_spec(path).and_then(|exp| {
             exp.validate_in(&registry)
                 .map_err(|e| format!("{path}: {e}"))?;

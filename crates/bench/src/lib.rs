@@ -13,9 +13,7 @@
 
 pub mod perf;
 
-use mocc_core::{
-    AuroraAgent, AuroraBank, AuroraCc, MoccAgent, MoccCc, MoccConfig, Preference, TrainRegime,
-};
+use mocc_core::{AuroraAgent, AuroraBank, AuroraCc, MoccAgent, MoccCc, MoccConfig, Preference};
 use mocc_netsim::cc::CongestionControl;
 use mocc_netsim::scenario::MiMode;
 use mocc_netsim::{FlowResult, MiRecord, Scenario, ScenarioRange, Simulator};
@@ -46,27 +44,40 @@ pub fn trained_mocc_path() -> PathBuf {
     cache_dir().join("mocc-agent.json")
 }
 
-/// The offline-trained MOCC agent (trained on first use, then cached).
+/// The [`TrainSpec`] behind the cached figure-binary model: the
+/// default config under the transfer regime with batched (4-env)
+/// lockstep rollouts. Declared here so the cached artifact has a
+/// single, inspectable definition — `mocc train` on the same document
+/// reproduces it.
+///
+/// [`TrainSpec`]: mocc_core::TrainSpec
+pub fn default_train_spec() -> mocc_core::TrainSpec {
+    mocc_core::TrainSpec {
+        name: "mocc-default".to_string(),
+        seed: 7,
+        config: "default".to_string(),
+        batch_envs: 4,
+        ..mocc_core::TrainSpec::default()
+    }
+}
+
+/// The offline-trained MOCC agent (trained on first use via
+/// [`default_train_spec`], then cached).
 pub fn trained_mocc() -> MoccAgent {
     let path = trained_mocc_path();
     if let Ok(agent) = MoccAgent::load(&path) {
         return agent;
     }
     eprintln!("[cache] training MOCC offline (one-time, ~1 min)...");
-    let mut rng = StdRng::seed_from_u64(42);
-    let mut agent = MoccAgent::new(MoccConfig::default(), &mut rng);
-    let out = mocc_core::train_offline(
-        &mut agent,
-        ScenarioRange::training(),
-        TrainRegime::Transfer,
-        7,
-    );
+    let spec = default_train_spec();
+    let run = mocc_core::train_spec(&spec, &mocc_core::TrainOptions::default())
+        .expect("the default train spec is valid");
     eprintln!(
         "[cache] offline training done: {} iterations, {:.1}s",
-        out.iterations, out.wall_secs
+        run.outcome.iterations, run.outcome.wall_secs
     );
-    agent.save(&path).expect("save cached agent");
-    agent
+    run.agent.save(&path).expect("save cached agent");
+    run.agent
 }
 
 /// Iterations used when training cached Aurora models.

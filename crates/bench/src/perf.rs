@@ -15,6 +15,8 @@ use mocc_core::{MoccAgent, MoccConfig, Preference};
 use mocc_eval::{BaselineFactory, FlowLoad, SweepRunner, SweepSpec, TraceShape};
 use mocc_netsim::{Scenario, Simulator};
 use mocc_nn::{Activation, Mlp};
+use mocc_rl::ppo::{Ppo, PpoConfig};
+use mocc_rl::{collect_rollouts_batched_tier, BatchRolloutScratch, Env, Rollout};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -96,6 +98,13 @@ pub struct PerfReport {
     /// Cells per second for MOCC policy inference across a 16-cell
     /// matrix.
     pub mocc_cells_per_sec: f64,
+    /// Environment transitions per second collecting training rollouts
+    /// with per-env scalar forwards (the historical path).
+    pub rollout_scalar_steps_per_sec: f64,
+    /// Environment transitions per second collecting the same rollouts
+    /// through the lockstep batched collector (16 envs, one batched
+    /// actor + critic forward per monitor round).
+    pub rollout_batched_steps_per_sec: f64,
 }
 
 impl PerfReport {
@@ -248,6 +257,118 @@ fn mocc_cells_per_sec(threads: usize, reps: u64) -> f64 {
     cells / secs
 }
 
+/// Lockstep environments driven by the rollout-collection metrics.
+const ROLLOUT_ENVS: usize = 16;
+
+/// A cheap synthetic [`Env`] for the rollout metrics: a policy-shaped
+/// observation computed from a step counter, near-zero per-step cost.
+/// Using it instead of the full `MoccEnv` makes the scalar/batched
+/// ratio measure the *collector* (forward passes and bookkeeping), not
+/// the simulator.
+struct SyntheticEnv {
+    t: u32,
+    phase: u32,
+    obs: Vec<f32>,
+}
+
+impl SyntheticEnv {
+    fn new(phase: u32) -> Self {
+        SyntheticEnv {
+            t: 0,
+            phase,
+            obs: vec![0.0; OBS_DIM],
+        }
+    }
+
+    fn fill(&mut self) -> Vec<f32> {
+        // A few multiply-adds per element — varied, bounded, and far
+        // cheaper than the forwards under measurement (a libm `sin`
+        // per element would cost as much as a tanh and dilute the
+        // collector comparison with env cost).
+        let x = self.t.wrapping_add(self.phase) as f32 * 0.37;
+        let mut v = x - x.floor() - 0.5;
+        for o in self.obs.iter_mut() {
+            v = 1.7 * v * (1.0 - v.abs());
+            *o = v;
+        }
+        self.obs.clone()
+    }
+}
+
+impl Env for SyntheticEnv {
+    fn obs_dim(&self) -> usize {
+        OBS_DIM
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.t = 0;
+        self.fill()
+    }
+
+    fn step(&mut self, action: f32) -> (Vec<f32>, f32, bool) {
+        self.t += 1;
+        let done = self.t % 200 == 0;
+        (self.fill(), -action.abs(), done)
+    }
+}
+
+/// Transitions per second collecting rollouts over [`ROLLOUT_ENVS`]
+/// synthetic environments with policy-shaped actor/critic networks —
+/// either the historical per-env scalar loop (bit-exact scalar
+/// kernels, exactly what `collect_rollout` runs), or the lockstep
+/// batched collector as the batched training pipeline configures it
+/// (`collect_rollouts_batched_tier` on the fast inference tier). Same
+/// seeds, same envs, same step budget either way: the ratio is the
+/// rollout-engine speedup a training run sees when it moves from the
+/// per-env loop to the batched pipeline.
+fn rollout_steps_per_sec(batched: bool, iters: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(41);
+    let ppo = Ppo::new(OBS_DIM, &[64, 32], PpoConfig::default(), &mut rng);
+    let steps = (iters as usize / ROLLOUT_ENVS).max(8);
+    let total = (steps * ROLLOUT_ENVS) as f64;
+    let secs = if batched {
+        let mut scratch = BatchRolloutScratch::default();
+        best_of(3, || {
+            let mut envs: Vec<SyntheticEnv> = (0..ROLLOUT_ENVS)
+                .map(|i| SyntheticEnv::new(i as u32 * 37))
+                .collect();
+            let mut refs: Vec<&mut dyn Env> = envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+            let mut rng = StdRng::seed_from_u64(43);
+            let rollouts = collect_rollouts_batched_tier(
+                &ppo.policy,
+                &ppo.value,
+                &mut refs,
+                steps,
+                &mut rng,
+                &mut scratch,
+                mocc_nn::ForwardTier::Fast,
+            );
+            black_box(rollouts.len());
+        })
+    } else {
+        best_of(3, || {
+            let mut rng = StdRng::seed_from_u64(43);
+            let mut collected = 0usize;
+            for i in 0..ROLLOUT_ENVS {
+                let mut env = SyntheticEnv::new(i as u32 * 37);
+                let mut rollout = Rollout::new(OBS_DIM);
+                let mut obs = env.reset();
+                for _ in 0..steps {
+                    let (a, logp) = ppo.policy.act(&obs, &mut rng);
+                    let v = ppo.value.forward(&obs)[0];
+                    let (next, r, done) = env.step(a);
+                    rollout.push(&obs, a, logp, r, v, done);
+                    obs = if done { env.reset() } else { next };
+                }
+                rollout.last_value = ppo.value.forward(&obs)[0];
+                collected += rollout.len();
+            }
+            black_box(collected);
+        })
+    };
+    total / secs
+}
+
 /// Runs the whole fixed workload. See the module docs.
 pub fn measure() -> PerfReport {
     let fixed = fixed_iters();
@@ -277,6 +398,8 @@ pub fn measure() -> PerfReport {
         sim_steps_per_sec: round3(sim_steps_per_sec(reps)),
         sweep_cells_per_sec: round3(sweep_cells_per_sec(threads, reps)),
         mocc_cells_per_sec: round3(mocc_cells_per_sec(threads, reps)),
+        rollout_scalar_steps_per_sec: round3(rollout_steps_per_sec(false, i256)),
+        rollout_batched_steps_per_sec: round3(rollout_steps_per_sec(true, i256)),
     }
 }
 
@@ -307,7 +430,7 @@ pub fn check(
         )]);
     }
     // (name, measured, baseline, higher_is_better)
-    let metrics: [(&str, f64, f64, bool); 8] = [
+    let metrics: [(&str, f64, f64, bool); 10] = [
         (
             "forward_ns_b1",
             got.forward_ns_b1,
@@ -356,6 +479,18 @@ pub fn check(
             baseline.mocc_cells_per_sec,
             true,
         ),
+        (
+            "rollout_scalar_steps_per_sec",
+            got.rollout_scalar_steps_per_sec,
+            baseline.rollout_scalar_steps_per_sec,
+            true,
+        ),
+        (
+            "rollout_batched_steps_per_sec",
+            got.rollout_batched_steps_per_sec,
+            baseline.rollout_batched_steps_per_sec,
+            true,
+        ),
     ];
     let mut lines = Vec::new();
     let mut failures = Vec::new();
@@ -393,6 +528,8 @@ mod tests {
             sim_steps_per_sec: v,
             sweep_cells_per_sec: v,
             mocc_cells_per_sec: v,
+            rollout_scalar_steps_per_sec: v,
+            rollout_batched_steps_per_sec: v,
         }
     }
 

@@ -45,6 +45,9 @@ pub mod online;
 pub mod preference;
 pub mod prefnet;
 pub mod train;
+pub mod trainer;
+pub mod trainspec;
+pub mod zoo;
 
 pub use adapter::MoccCc;
 pub use agent::{stats_features, write_obs, MoccAgent};
@@ -60,6 +63,14 @@ pub use experiment::{
 pub use online::{convergence_iter, AdaptationPoint, OnlineAdapter};
 pub use preference::{landmark_count, landmarks, nearest, Preference};
 pub use prefnet::{PrefNet, PrefNetScratch};
-pub use train::{
-    evaluate, train_iteration, train_iteration_contrast, train_offline, TrainOutcome, TrainRegime,
+#[allow(deprecated)]
+pub use train::train_offline;
+pub use train::{evaluate, train_iteration, train_iteration_contrast, TrainOutcome, TrainRegime};
+pub use trainer::{
+    build_schedule, load_checkpoint, train_spec, write_checkpoint, ScheduleStep, TrainCheckpoint,
+    TrainOptions, TrainRun,
+};
+pub use trainspec::{regime_label, TrainSpec};
+pub use zoo::{
+    final_eval, list_models, load_model, save_trained, zoo_registry, EvalPoint, ModelProvenance,
 };

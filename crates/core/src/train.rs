@@ -11,11 +11,10 @@
 
 use crate::agent::MoccAgent;
 use crate::env::MoccEnv;
-use crate::graph::{default_pivots, sort_objectives};
-use crate::preference::{landmarks, Preference};
+use crate::preference::Preference;
 use mocc_netsim::ScenarioRange;
-use mocc_rl::ppo::collect_rollouts_parallel;
-use mocc_rl::Env;
+use mocc_nn::ForwardTier;
+use mocc_rl::{collect_rollouts_batched_tier, BatchRolloutScratch, Env};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -68,23 +67,28 @@ pub fn train_iteration_contrast(
     let seed = rand::Rng::gen::<u64>(rng);
     let mut rollouts = if n_envs > 1 {
         let cfg = agent.cfg;
-        // Parallelism splits the same experience budget across workers
-        // (the paper's Ray setup): total steps per iteration stays
-        // `rollout_steps`, wall-clock shrinks.
+        // Parallelism splits the same experience budget across
+        // lockstep environments (the paper's Ray setup): total steps
+        // per iteration stays `rollout_steps`, and each monitor round
+        // costs one batched actor and one batched critic forward
+        // instead of `n_envs` scalar ones. Collection is gradient-free
+        // inference, so it runs on the fast kernel tier — deterministic
+        // (resume stays byte-identical), with means within 4e-6 of the
+        // exact kernels the PPO update itself keeps using.
         let per_env = (steps / n_envs).max(20);
-        collect_rollouts_parallel(
-            &agent.ppo,
-            |i| {
-                Box::new(MoccEnv::training(
-                    cfg,
-                    pref,
-                    range,
-                    seed.wrapping_add(i as u64),
-                ))
-            },
-            n_envs,
+        let mut envs: Vec<MoccEnv> = (0..n_envs)
+            .map(|i| MoccEnv::training(cfg, pref, range, seed.wrapping_add(i as u64)))
+            .collect();
+        let mut refs: Vec<&mut dyn Env> = envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+        let mut scratch = BatchRolloutScratch::default();
+        collect_rollouts_batched_tier(
+            &agent.ppo.policy,
+            &agent.ppo.value,
+            &mut refs,
             per_env,
-            seed,
+            rng,
+            &mut scratch,
+            ForwardTier::Fast,
         )
     } else {
         let mut env = MoccEnv::training(agent.cfg, pref, range, seed);
@@ -111,6 +115,18 @@ pub fn train_iteration(
 }
 
 /// Offline two-phase training over the landmark objectives.
+///
+/// This is a thin compatibility shim over the schedule engine: it
+/// expands the regime with [`crate::trainer::build_schedule`] and
+/// executes it with [`crate::trainer`]'s driver, reproducing the
+/// historical iteration accounting and RNG stream exactly — but
+/// without checkpointing, resume, or provenance. New code should
+/// declare a [`crate::TrainSpec`] and call [`crate::trainer::train_spec`]
+/// (or `mocc train`).
+#[deprecated(
+    since = "0.1.0",
+    note = "use mocc_core::trainer::train_spec with a TrainSpec (or `mocc train`)"
+)]
 pub fn train_offline(
     agent: &mut MoccAgent,
     range: ScenarioRange,
@@ -118,67 +134,26 @@ pub fn train_offline(
     seed: u64,
 ) -> TrainOutcome {
     let started = Instant::now();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let points = landmarks(agent.cfg.omega_step);
-    let mut curve = Vec::new();
-    let mut global_iter = 0usize;
-
-    match regime {
-        TrainRegime::Individual => {
-            // No ordering, no warm start between objectives beyond the
-            // shared model: every landmark gets the full bootstrap
-            // budget (this is what makes it ω× slower).
-            for pref in &points {
-                for _ in 0..agent.cfg.boot_iters {
-                    curve.push(train_iteration(agent, *pref, range, global_iter, &mut rng));
-                    global_iter += 1;
-                }
-            }
-        }
-        TrainRegime::Transfer | TrainRegime::TransferParallel => {
-            if regime == TrainRegime::TransferParallel && agent.cfg.parallel_envs <= 1 {
-                agent.cfg.parallel_envs = 4;
-            }
-            // Phase 1: bootstrap the pivots.
-            let pivots = default_pivots(&points);
-            for &p in &pivots {
-                for _ in 0..agent.cfg.boot_iters {
-                    curve.push(train_iteration(
-                        agent,
-                        points[p],
-                        range,
-                        global_iter,
-                        &mut rng,
-                    ));
-                    global_iter += 1;
-                }
-            }
-            // Phase 2: fast traversal in Algorithm-1 order, a few
-            // iterations per visit, cycling. Each update also sees one
-            // uniformly random landmark so the preference sub-network
-            // keeps objectives separated (see train_iteration_contrast).
-            let order = sort_objectives(&points, agent.cfg.omega_step, &pivots);
-            for _cycle in 0..agent.cfg.traverse_cycles {
-                for &idx in &order {
-                    for _ in 0..agent.cfg.traverse_iters {
-                        let other = points[rand::Rng::gen_range(&mut rng, 0..points.len())];
-                        curve.push(train_iteration_contrast(
-                            agent,
-                            points[idx],
-                            &[other],
-                            range,
-                            global_iter,
-                            &mut rng,
-                        ));
-                        global_iter += 1;
-                    }
-                }
-            }
-        }
+    if regime == TrainRegime::TransferParallel && agent.cfg.parallel_envs <= 1 {
+        agent.cfg.parallel_envs = 4;
     }
-
+    let (points, schedule) = crate::trainer::build_schedule(&agent.cfg, regime);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut curve = Vec::new();
+    crate::trainer::run_schedule(
+        agent,
+        &points,
+        &schedule,
+        range,
+        0,
+        schedule.len(),
+        &mut rng,
+        &mut curve,
+        &mut |_, _, _, _| Ok(()),
+    )
+    .expect("no checkpointing: the schedule driver cannot fail");
     TrainOutcome {
-        iterations: global_iter,
+        iterations: schedule.len(),
         wall_secs: started.elapsed().as_secs_f64(),
         curve,
     }
@@ -249,6 +224,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn individual_regime_costs_more_iterations_than_transfer() {
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = MoccConfig {

@@ -291,10 +291,26 @@ pub(crate) fn apply_activation(act: crate::mlp::Activation, tier: ForwardTier, x
 }
 
 /// The accumulation step of a batched matmul, `out += x · w`, with the
-/// frozen traversal order (K_BLOCK tiles of ascending k, zero-skip)
-/// and the dispatched [`axpy`] inner kernel. Bitwise identical to the
-/// historical scalar loop on every backend.
+/// frozen per-element semantics (ascending `k`, zero-skip) and a
+/// backend-dispatched traversal. Bitwise identical to the historical
+/// scalar loop on every backend: each output element is a single
+/// accumulator updated by `mul` + `add` in ascending-`k` order, so
+/// reordering *across* elements (row-group register blocking on AVX2,
+/// K_BLOCK cache tiling on the portable path) cannot move a bit.
 pub(crate) fn accumulate(x: &Matrix, w: &Matrix, out: &mut Matrix) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if use_avx2() {
+        // SAFETY: AVX2 availability was just verified at run time.
+        unsafe { avx2::accumulate(x, w, out) };
+        return;
+    }
+    accumulate_portable(x, w, out);
+}
+
+/// The portable accumulate traversal: K_BLOCK tiles of ascending `k`
+/// over the dispatched [`axpy`] row kernel. Also the bitwise reference
+/// the AVX2 register-blocked kernel is tested against.
+pub(crate) fn accumulate_portable(x: &Matrix, w: &Matrix, out: &mut Matrix) {
     let width = w.cols;
     for kk in (0..x.cols).step_by(crate::matrix::K_BLOCK) {
         let kend = (kk + crate::matrix::K_BLOCK).min(x.cols);
@@ -368,6 +384,111 @@ mod avx2 {
         }
         for i in n..out.len() {
             out[i] += a * w[i];
+        }
+    }
+
+    /// Register-blocked `out += x · w`: 4 output rows × 16 columns of
+    /// accumulators live in ymm registers across the whole `k` loop,
+    /// so the per-`k` cost is two weight-row loads shared by four
+    /// batch rows — no load/store round-trip on `out` per step, which
+    /// is what makes the batched forward genuinely faster per row than
+    /// the single-row kernel. Each output element remains one
+    /// accumulator updated by `mul` + `add` in ascending-`k` order
+    /// with the zero-skip, hence bitwise identical to
+    /// [`accumulate_portable`].
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn accumulate(x: &Matrix, w: &Matrix, out: &mut Matrix) {
+        let kdim = x.cols;
+        let n = w.cols;
+        let rows = x.rows;
+        let full_r = rows / 4 * 4;
+        let full_j = n / 16 * 16;
+        for r in (0..full_r).step_by(4) {
+            let x0 = x.row(r);
+            let x1 = x.row(r + 1);
+            let x2 = x.row(r + 2);
+            let x3 = x.row(r + 3);
+            for j in (0..full_j).step_by(16) {
+                let o0 = out.data.as_mut_ptr().add(r * n + j);
+                let o1 = o0.add(n);
+                let o2 = o1.add(n);
+                let o3 = o2.add(n);
+                let mut a00 = _mm256_loadu_ps(o0);
+                let mut a01 = _mm256_loadu_ps(o0.add(8));
+                let mut a10 = _mm256_loadu_ps(o1);
+                let mut a11 = _mm256_loadu_ps(o1.add(8));
+                let mut a20 = _mm256_loadu_ps(o2);
+                let mut a21 = _mm256_loadu_ps(o2.add(8));
+                let mut a30 = _mm256_loadu_ps(o3);
+                let mut a31 = _mm256_loadu_ps(o3.add(8));
+                for k in 0..kdim {
+                    let wrow = w.row(k).as_ptr().add(j);
+                    let w0 = _mm256_loadu_ps(wrow);
+                    let w1 = _mm256_loadu_ps(wrow.add(8));
+                    let a = *x0.get_unchecked(k);
+                    if a != 0.0 {
+                        let av = _mm256_set1_ps(a);
+                        a00 = _mm256_add_ps(a00, _mm256_mul_ps(av, w0));
+                        a01 = _mm256_add_ps(a01, _mm256_mul_ps(av, w1));
+                    }
+                    let a = *x1.get_unchecked(k);
+                    if a != 0.0 {
+                        let av = _mm256_set1_ps(a);
+                        a10 = _mm256_add_ps(a10, _mm256_mul_ps(av, w0));
+                        a11 = _mm256_add_ps(a11, _mm256_mul_ps(av, w1));
+                    }
+                    let a = *x2.get_unchecked(k);
+                    if a != 0.0 {
+                        let av = _mm256_set1_ps(a);
+                        a20 = _mm256_add_ps(a20, _mm256_mul_ps(av, w0));
+                        a21 = _mm256_add_ps(a21, _mm256_mul_ps(av, w1));
+                    }
+                    let a = *x3.get_unchecked(k);
+                    if a != 0.0 {
+                        let av = _mm256_set1_ps(a);
+                        a30 = _mm256_add_ps(a30, _mm256_mul_ps(av, w0));
+                        a31 = _mm256_add_ps(a31, _mm256_mul_ps(av, w1));
+                    }
+                }
+                _mm256_storeu_ps(o0, a00);
+                _mm256_storeu_ps(o0.add(8), a01);
+                _mm256_storeu_ps(o1, a10);
+                _mm256_storeu_ps(o1.add(8), a11);
+                _mm256_storeu_ps(o2, a20);
+                _mm256_storeu_ps(o2.add(8), a21);
+                _mm256_storeu_ps(o3, a30);
+                _mm256_storeu_ps(o3.add(8), a31);
+            }
+            // Column tail (< 16 columns) for this row group.
+            if full_j < n {
+                for rr in r..r + 4 {
+                    tail_row(x.row(rr), w, out, rr, full_j);
+                }
+            }
+        }
+        // Row tail (< 4 rows): the plain per-row traversal.
+        for rr in full_r..rows {
+            tail_row(x.row(rr), w, out, rr, 0);
+        }
+    }
+
+    /// Accumulates `out[rr][j0..] += xrow · w[:, j0..]` with the frozen
+    /// ascending-`k`, zero-skip order — the tail path of the blocked
+    /// kernel.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_row(xrow: &[f32], w: &Matrix, out: &mut Matrix, rr: usize, j0: usize) {
+        let n = w.cols;
+        let out_row = &mut out.data[rr * n + j0..(rr + 1) * n];
+        for (k, &a) in xrow.iter().enumerate() {
+            if a != 0.0 {
+                axpy(out_row, a, &w.row(k)[j0..]);
+            }
         }
     }
 }
@@ -448,6 +569,41 @@ mod tests {
             }
             for (i, (g, e)) in got.iter().zip(&want).enumerate() {
                 assert_eq!(g.to_bits(), e.to_bits(), "element {i} of {len} diverged");
+            }
+        }
+    }
+
+    /// The dispatched accumulate (register-blocked on AVX2) is bitwise
+    /// identical to the portable K_BLOCK traversal on shapes that
+    /// exercise full 4×16 tiles, the column tail, the row tail, and
+    /// the zero-skip (including negative zero in `x`).
+    #[test]
+    fn accumulate_is_bitwise_identical_to_the_portable_traversal() {
+        for (m, k, n) in [
+            (9, 70, 40),
+            (16, 33, 64),
+            (5, 33, 32),
+            (4, 16, 16),
+            (3, 8, 7),
+            (1, 200, 33),
+        ] {
+            let x = Matrix::from_fn(m, k, |r, c| match (r * k + c) % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                v => (r as f32 * 0.83 + c as f32 * 0.47 + v as f32).sin(),
+            });
+            let w = Matrix::from_fn(k, n, |r, c| (r as f32 * 1.19 - c as f32 * 0.31).cos());
+            let bias = Matrix::from_fn(m, n, |r, c| (r as f32 - c as f32) * 0.013);
+            let mut got = bias.clone();
+            accumulate(&x, &w, &mut got);
+            let mut want = bias.clone();
+            accumulate_portable(&x, &w, &mut want);
+            for (i, (g, e)) in got.data.iter().zip(&want.data).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    e.to_bits(),
+                    "element {i} of {m}x{k}x{n} diverged from the portable kernel"
+                );
             }
         }
     }

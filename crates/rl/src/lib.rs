@@ -4,9 +4,9 @@
 //! abstraction, [`Rollout`] storage with GAE(γ, λ) advantages, a
 //! diagonal-Gaussian [`GaussianPolicy`], the [`Ppo`] learner with the
 //! clipped surrogate and entropy bonus of Eqs. 3–5 of the paper, a
-//! [`Dqn`] baseline for the Fig. 18 ablation, and scoped-thread
-//! parallel rollout collection standing in for the paper's Ray/RLlib
-//! setup.
+//! [`Dqn`] baseline for the Fig. 18 ablation, and lockstep batched
+//! rollout collection ([`collect_rollouts_batched`]) standing in for
+//! the paper's Ray/RLlib parallel-training setup.
 //!
 //! ## Example
 //!
@@ -23,14 +23,20 @@
 //! assert!(stats.mean_reward.is_finite());
 //! ```
 
+pub mod batch_rollout;
 pub mod dqn;
 pub mod env;
 pub mod policy;
 pub mod ppo;
 pub mod rollout;
 
+pub use batch_rollout::{
+    collect_rollouts_batched, collect_rollouts_batched_tier, BatchRolloutScratch,
+};
 pub use dqn::{Dqn, DqnConfig};
 pub use env::Env;
 pub use policy::{GaussianPolicy, PolicyScratch};
-pub use ppo::{collect_rollout, collect_rollouts_parallel, Ppo, PpoConfig, PpoStats};
+#[allow(deprecated)]
+pub use ppo::{collect_rollout, collect_rollouts_parallel};
+pub use ppo::{Ppo, PpoConfig, PpoStats};
 pub use rollout::{normalize, Rollout};

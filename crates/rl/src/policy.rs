@@ -171,8 +171,25 @@ impl<N: Network> GaussianPolicy<N> {
         out: &mut Vec<(f32, f32)>,
         scratch: &mut PolicyScratch<N>,
     ) {
+        self.act_batch_tier(obs, rng, out, scratch, ForwardTier::Scalar)
+    }
+
+    /// [`GaussianPolicy::act_batch`] under an explicit forward kernel
+    /// tier: the affine sampling around each row's mean is identical in
+    /// both tiers, and each mean follows the tier contract of
+    /// [`GaussianPolicy::mean_action_batch_tier`]. Both tiers are fully
+    /// deterministic; `Fast` trades ≤ 4e-6 of mean accuracy for the
+    /// approximate tanh kernels on networks that implement them.
+    pub fn act_batch_tier<R: Rng>(
+        &self,
+        obs: &Matrix,
+        rng: &mut R,
+        out: &mut Vec<(f32, f32)>,
+        scratch: &mut PolicyScratch<N>,
+        tier: ForwardTier,
+    ) {
         self.net
-            .forward_batch_into(obs, &mut scratch.means, &mut scratch.net);
+            .forward_batch_into_tier(obs, &mut scratch.means, &mut scratch.net, tier);
         let std = self.std();
         out.clear();
         out.extend((0..scratch.means.rows).map(|r| {

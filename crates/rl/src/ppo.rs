@@ -5,6 +5,7 @@
 //! actor-critic with separate Adam optimizers — the paper's training
 //! algorithm (§4.2, "Policy optimization algorithm").
 
+use crate::batch_rollout::{collect_rollouts_batched, BatchRolloutScratch};
 use crate::env::Env;
 use crate::policy::GaussianPolicy;
 use crate::rollout::{normalize, Rollout};
@@ -155,9 +156,23 @@ impl<N: Network> Ppo<N> {
     }
 
     /// Collects one on-policy rollout of `steps` transitions, resetting
-    /// the environment at episode boundaries.
+    /// the environment at episode boundaries. Runs on the lockstep
+    /// batched collector with a batch of one, which is bitwise
+    /// identical to the historical scalar loop (see
+    /// [`collect_rollouts_batched`]).
     pub fn collect_rollout(&self, env: &mut dyn Env, steps: usize, rng: &mut StdRng) -> Rollout {
-        collect_rollout(&self.policy, &self.value, env, steps, rng)
+        let mut scratch = BatchRolloutScratch::default();
+        let mut refs: [&mut dyn Env; 1] = [env];
+        collect_rollouts_batched(
+            &self.policy,
+            &self.value,
+            &mut refs,
+            steps,
+            rng,
+            &mut scratch,
+        )
+        .pop()
+        .expect("one env yields one rollout")
     }
 
     /// One training iteration: collect a rollout and update on it.
@@ -331,8 +346,15 @@ impl<N: Network> Ppo<N> {
     }
 }
 
-/// Collects one rollout with the given actor and critic. Free function
-/// so parallel workers can run it on cloned networks.
+/// Collects one rollout with the given actor and critic.
+///
+/// Thin shim over [`collect_rollouts_batched`] with a batch of one —
+/// bitwise identical to the historical scalar loop, including the RNG
+/// stream.
+#[deprecated(
+    since = "0.1.0",
+    note = "use collect_rollouts_batched (or the TrainSpec runner, mocc_core::trainer)"
+)]
 pub fn collect_rollout<N: Network>(
     policy: &GaussianPolicy<N>,
     value: &N,
@@ -340,21 +362,26 @@ pub fn collect_rollout<N: Network>(
     steps: usize,
     rng: &mut StdRng,
 ) -> Rollout {
-    let mut rollout = Rollout::new(env.obs_dim());
-    let mut obs = env.reset();
-    for _ in 0..steps {
-        let (a, logp) = policy.act(&obs, rng);
-        let v = value.forward(&obs)[0];
-        let (next, r, done) = env.step(a);
-        rollout.push(&obs, a, logp, r, v, done);
-        obs = if done { env.reset() } else { next };
-    }
-    rollout.last_value = value.forward(&obs)[0];
-    rollout
+    let mut scratch = BatchRolloutScratch::default();
+    let mut refs: [&mut dyn Env; 1] = [env];
+    collect_rollouts_batched(policy, value, &mut refs, steps, rng, &mut scratch)
+        .pop()
+        .expect("one env yields one rollout")
 }
 
-/// Collects `n_envs` rollouts in parallel with scoped threads (the
-/// paper's Ray/RLlib parallel-training substitute, §5).
+/// Collects `n_envs` rollouts.
+///
+/// Thin shim over [`collect_rollouts_batched`]: the historical scoped
+/// threads with per-worker RNG streams are replaced by the lockstep
+/// batched path drawing every env's actions in order from one stream
+/// seeded with `seed`. For `n_envs <= 1` this matches the historical
+/// single-env behaviour bit for bit; for larger batches the rollouts
+/// remain distinct and complete, but the exact action streams differ
+/// from the old threaded implementation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use collect_rollouts_batched (or the TrainSpec runner, mocc_core::trainer)"
+)]
 pub fn collect_rollouts_parallel<N, F>(
     ppo: &Ppo<N>,
     make_env: F,
@@ -366,35 +393,18 @@ where
     N: Network + Sync,
     F: Fn(usize) -> Box<dyn Env> + Sync,
 {
-    if n_envs <= 1 {
-        let mut env = make_env(0);
-        let mut rng = StdRng::seed_from_u64(seed);
-        return vec![collect_rollout(
-            &ppo.policy,
-            &ppo.value,
-            env.as_mut(),
-            steps,
-            &mut rng,
-        )];
-    }
-    let policy = &ppo.policy;
-    let value = &ppo.value;
-    let make_env = &make_env;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_envs)
-            .map(|i| {
-                scope.spawn(move || {
-                    let mut env = make_env(i);
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9e37));
-                    collect_rollout(policy, value, env.as_mut(), steps, &mut rng)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rollout worker panicked"))
-            .collect()
-    })
+    let mut envs: Vec<Box<dyn Env>> = (0..n_envs.max(1)).map(make_env).collect();
+    let mut refs: Vec<&mut dyn Env> = envs.iter_mut().map(|b| &mut **b as &mut dyn Env).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = BatchRolloutScratch::default();
+    collect_rollouts_batched(
+        &ppo.policy,
+        &ppo.value,
+        &mut refs,
+        steps,
+        &mut rng,
+        &mut scratch,
+    )
 }
 
 #[cfg(test)]
@@ -456,6 +466,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn parallel_rollouts_distinct_and_complete() {
         let mut rng = StdRng::seed_from_u64(3);
         let ppo = Ppo::new(2, &[8], PpoConfig::default(), &mut rng);

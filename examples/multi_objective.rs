@@ -6,40 +6,36 @@
 //! cargo run --release --example multi_objective
 //! ```
 
-use mocc::core::{convergence_iter, MoccAgent, MoccConfig, OnlineAdapter, Preference, TrainRegime};
+use mocc::core::{convergence_iter, OnlineAdapter, Preference, TrainOptions, TrainSpec};
 use mocc::netsim::{Scenario, ScenarioRange};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(3);
-
-    // Trimmed two-phase offline training: ω = 10 landmarks (simplex
-    // step 1/6), short bootstrap, one traversal cycle.
-    let cfg = MoccConfig {
-        omega_step: 6,
-        boot_iters: 40,
-        traverse_iters: 2,
-        traverse_cycles: 2,
-        rollout_steps: 200,
-        episode_mis: 200,
-        ..MoccConfig::default()
+    // Trimmed two-phase offline training, declared as a TrainSpec:
+    // ω = 10 landmarks (simplex step 1/6), short bootstrap, two
+    // traversal cycles — the same document `mocc train` executes.
+    let spec = TrainSpec {
+        name: "multi-objective-demo".to_string(),
+        seed: 7,
+        config: "default".to_string(),
+        omega_step: Some(6),
+        boot_iters: Some(40),
+        traverse_iters: Some(2),
+        traverse_cycles: Some(2),
+        rollout_steps: Some(200),
+        episode_mis: Some(200),
+        ..TrainSpec::default()
     };
-    let mut agent = MoccAgent::new(cfg, &mut rng);
+    let cfg = spec.resolved_config().expect("demo spec is valid");
     println!(
         "offline training over {} landmark objectives...",
         mocc::core::landmark_count(cfg.omega_step)
     );
-    let out = mocc::core::train_offline(
-        &mut agent,
-        ScenarioRange::training(),
-        TrainRegime::Transfer,
-        7,
-    );
+    let run = mocc::core::train_spec(&spec, &TrainOptions::default()).expect("demo spec is valid");
     println!(
         "  {} iterations in {:.1}s (bootstrap 3 pivots + neighborhood traversal)",
-        out.iterations, out.wall_secs
+        run.outcome.iterations, run.outcome.wall_secs
     );
+    let agent = run.agent;
 
     // A new application with an unforeseen requirement arrives.
     let new_pref = Preference::new(0.3, 0.55, 0.15);

@@ -1,51 +1,64 @@
-//! Quickstart: train a small MOCC agent and drive experiments with it
-//! through the unified spec API.
+//! Quickstart: declaratively train a small MOCC agent and drive
+//! experiments with it through the unified spec API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Trains for a handful of PPO iterations on the paper's Table 3
-//! training ranges, saves the model, and then deploys it *declaratively*:
-//! one [`ExperimentSpec`] per registered preference, each naming the
-//! scheme by its `mocc:<pref>` label and pinning the saved model via the
-//! spec's policy section — the exact documents `mocc run` executes from
-//! JSON files (docs/SPECS.md).
+//! Declares a [`TrainSpec`] — the same kind-tagged document `mocc train`
+//! executes from a JSON file — runs the two-phase pipeline with batched
+//! rollout collection and checkpointing, lands the result in a model
+//! zoo with provenance, and then deploys it *declaratively*: one
+//! [`ExperimentSpec`] per registered preference, each naming the scheme
+//! by its `mocc:<pref>` label and pinning the zoo model via the spec's
+//! policy section (docs/SPECS.md, docs/TRAINING.md).
 
-use mocc::core::{run_experiment, MoccAgent, MoccConfig, Preference};
+use mocc::core::{run_experiment, save_trained, train_spec, TrainOptions, TrainSpec};
 use mocc::eval::{ExperimentSpec, PolicySpec, SchemeSpec, SweepRunner, SweepSpec};
-use mocc::netsim::ScenarioRange;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
-
-    // 1. Build an agent (preference sub-network + 64/32-tanh trunk).
-    let cfg = MoccConfig {
-        rollout_steps: 400,
-        episode_mis: 400,
-        ..MoccConfig::default()
+    // 1. Declare the training run. `mocc train quickstart.json` would
+    //    execute the identical document; the library call below is the
+    //    same engine.
+    let spec = TrainSpec {
+        name: "quickstart".to_string(),
+        seed: 5,
+        config: "fast".to_string(),
+        omega_step: Some(4),
+        boot_iters: Some(40),
+        traverse_iters: Some(2),
+        traverse_cycles: Some(2),
+        rollout_steps: Some(200),
+        episode_mis: Some(200),
+        // Four lockstep envs per rollout: one batched actor/critic
+        // forward per monitor round instead of four scalar ones.
+        batch_envs: 4,
+        checkpoint_every: 25,
+        ..TrainSpec::default()
     };
-    let mut agent = MoccAgent::new(cfg, &mut rng);
+    let total = spec.schedule_len().expect("quickstart spec is valid");
+    println!("training ({total} iterations, two-phase transfer, 4 lockstep envs)...");
 
-    // 2. A short training run on randomized links (the full two-phase
-    //    pipeline lives in mocc_core::train_offline; this is the
-    //    one-objective warm-up for a fast demo).
-    println!("training (150 iterations on 1-5 Mbps random links)...");
-    let range = ScenarioRange::training();
-    for i in 0..150 {
-        let r =
-            mocc::core::train_iteration(&mut agent, Preference::throughput(), range, i, &mut rng);
+    // 2. Train with periodic checkpoints into a throwaway zoo. Kill the
+    //    process mid-run and rerun with `resume_from` and the final
+    //    model comes out byte-identical.
+    let zoo = std::env::temp_dir().join("mocc-quickstart-zoo");
+    let opts = TrainOptions {
+        checkpoint_dir: Some(zoo.join("quickstart").join("checkpoints")),
+        ..TrainOptions::default()
+    };
+    let run = train_spec(&spec, &opts).expect("quickstart spec is valid");
+    for (i, r) in run.outcome.curve.iter().enumerate() {
         if i % 30 == 0 {
             println!("  iter {i:>3}: mean reward {r:.3}");
         }
     }
+    let model_path =
+        save_trained(&zoo, &spec, &run.agent, run.outcome.iterations).expect("save zoo model");
+    println!("zoo model: {}", model_path.display());
 
-    // 3. Save the model and deploy it through the spec API: the same
-    //    weights, two registered preferences, one 4 Mbps / 20 ms link.
-    let model_path = std::env::temp_dir().join("mocc-quickstart-agent.json");
-    agent.save(&model_path).expect("save trained agent");
+    // 3. Deploy through the spec API: the same weights, two registered
+    //    preferences, one 4 Mbps / 20 ms link.
     let mut matrix = SweepSpec::single_cell();
     matrix.bandwidth_mbps = vec![4.0];
     matrix.queue_pkts = vec![800];
@@ -69,6 +82,6 @@ fn main() {
             cell.utilization, cell.mean_rtt_ms, cell.loss_rate
         );
     }
-    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_dir_all(&zoo).ok();
     println!("one model, two objectives — that is the MOCC property.");
 }

@@ -2,7 +2,7 @@
 //! simulator + baselines + MOCC training + deployment adapters.
 
 use mocc::cc;
-use mocc::core::{MoccAgent, MoccCc, MoccConfig, MoccLib, NetStatus, Preference, TrainRegime};
+use mocc::core::{MoccAgent, MoccCc, MoccConfig, MoccLib, NetStatus, Preference};
 use mocc::netsim::{Scenario, ScenarioRange, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,26 +19,35 @@ fn tiny_cfg() -> MoccConfig {
     }
 }
 
-/// The full offline pipeline runs end to end and produces a model whose
+/// The full offline pipeline — declared as a TrainSpec, the document
+/// `mocc train` executes — runs end to end and produces a model whose
 /// deployed behaviour achieves real goodput.
 #[test]
 fn offline_pipeline_to_deployment() {
-    let mut rng = StdRng::seed_from_u64(0);
-    let mut agent = MoccAgent::new(tiny_cfg(), &mut rng);
     // Training at this tiny budget is high-variance; the seed is
     // calibrated against the vendored RNG stream (vendor/rand) to give
     // a wide margin over the utilization threshold below.
-    let out = mocc::core::train_offline(
-        &mut agent,
-        ScenarioRange::training(),
-        TrainRegime::Transfer,
-        13,
-    );
-    assert!(out.iterations > 0);
-    assert_eq!(out.curve.len(), out.iterations);
+    let spec = mocc::core::TrainSpec {
+        name: "e2e-pipeline".to_string(),
+        seed: 13,
+        config: "default".to_string(),
+        omega_step: Some(4), // ω = 3
+        boot_iters: Some(10),
+        traverse_iters: Some(1),
+        traverse_cycles: Some(1),
+        rollout_steps: Some(80),
+        episode_mis: Some(80),
+        batch_envs: 1,
+        ..mocc::core::TrainSpec::default()
+    };
+    let run = mocc::core::train_spec(&spec, &mocc::core::TrainOptions::default())
+        .expect("e2e spec is valid");
+    assert!(run.completed);
+    assert!(run.outcome.iterations > 0);
+    assert_eq!(run.outcome.curve.len(), run.outcome.iterations);
 
     let sc = Scenario::single(4e6, 20, 500, 0.0, 20);
-    let cc = MoccCc::new(&agent, Preference::throughput(), 1e6);
+    let cc = MoccCc::new(&run.agent, Preference::throughput(), 1e6);
     let res = Simulator::new(sc, vec![Box::new(cc)]).run();
     assert!(
         res.flows[0].utilization > 0.1,

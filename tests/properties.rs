@@ -1,6 +1,6 @@
 //! Property-based integration tests over the workspace invariants.
 
-use mocc::core::{landmark_count, landmarks, Preference};
+use mocc::core::{landmark_count, landmarks, Preference, TrainRegime, TrainSpec};
 use mocc::eval::{
     BaselineContenders, CompetitionSpec, ContenderMix, ExperimentSpec, FlowLoad, PolicySpec,
     SchemeRegistry, SchemeSpec, SweepCell, SweepRunner, SweepSpec, TraceShape,
@@ -96,6 +96,51 @@ fn random_experiment(seed: u64) -> ExperimentSpec {
         });
     }
     exp
+}
+
+/// Deterministically generates a randomized-but-valid [`TrainSpec`]
+/// from a seed: every preset, regime, and range label, zoo-safe names
+/// over the full allowed alphabet, and each override independently set
+/// or left on the preset default.
+fn random_train_spec(seed: u64) -> TrainSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name_alphabet: Vec<char> = "abcXYZ019._-".chars().collect();
+    let name: String = (0..rng.gen_range(1usize..16))
+        .map(|_| name_alphabet[rng.gen_range(0..name_alphabet.len())])
+        .collect();
+    let name = if name.chars().all(|c| c == '.') {
+        format!("{name}x")
+    } else {
+        name
+    };
+    let regimes = [
+        TrainRegime::Individual,
+        TrainRegime::Transfer,
+        TrainRegime::TransferParallel,
+    ];
+    let opt =
+        |rng: &mut StdRng, lo: usize, hi: usize| rng.gen_bool(0.5).then(|| rng.gen_range(lo..hi));
+    TrainSpec {
+        name,
+        seed: rng.gen(),
+        config: if rng.gen_bool(0.5) { "fast" } else { "default" }.to_string(),
+        regime: regimes[rng.gen_range(0..regimes.len())],
+        range: if rng.gen_bool(0.5) {
+            "training"
+        } else {
+            "testing"
+        }
+        .to_string(),
+        batch_envs: rng.gen_range(1usize..9),
+        checkpoint_every: rng.gen_range(0usize..20),
+        eval_episodes: rng.gen_range(1usize..4),
+        boot_iters: opt(&mut rng, 1, 10),
+        traverse_iters: opt(&mut rng, 1, 5),
+        traverse_cycles: opt(&mut rng, 0, 4),
+        rollout_steps: opt(&mut rng, 1, 100),
+        episode_mis: opt(&mut rng, 1, 100),
+        omega_step: opt(&mut rng, 3, 12),
+    }
 }
 
 /// A short string of arbitrary printable-ish characters (including
@@ -412,6 +457,62 @@ proptest! {
         prop_assert!(ContenderMix::parse(&format!("melee:{junk}")).is_err());
         let doc = format!("{{\"kind\":\"sweep\",\"name\":\"x\",\"scheme\":17,\"junk\":{junk:?}}}");
         prop_assert!(ExperimentSpec::from_json(&doc).is_err());
+    }
+
+    /// Serde round trip is the identity over randomized training
+    /// documents: parse(serialize(spec)) == spec, the canonical JSON
+    /// form is a fixed point, and generated documents validate — the
+    /// same battery [`ExperimentSpec`] passes, applied to the training
+    /// side of the spec surface.
+    #[test]
+    fn train_spec_round_trip_is_identity(seed in 0u64..1_000_000) {
+        let spec = random_train_spec(seed);
+        let json = spec.to_canonical_json();
+        let back = TrainSpec::from_json(&json);
+        prop_assert!(back.is_ok(), "round trip failed: {:?}\n{json}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.to_canonical_json(), json);
+        prop_assert!(spec.validate().is_ok(), "generated spec must validate");
+        // The schedule is well-defined (possibly empty when every
+        // iteration knob is zeroed out by the generator).
+        prop_assert!(spec.schedule_len().is_ok());
+    }
+
+    /// The digest is the spec's identity over the generator space:
+    /// equal documents agree, and any single-field mutation moves it.
+    #[test]
+    fn train_spec_digest_tracks_identity(seed in 0u64..1_000_000) {
+        let spec = random_train_spec(seed);
+        prop_assert_eq!(random_train_spec(seed).digest(), spec.digest());
+        let mut renamed = spec.clone();
+        renamed.name.push('x');
+        prop_assert_ne!(renamed.digest(), spec.digest());
+        let mut reseeded = spec.clone();
+        reseeded.seed = reseeded.seed.wrapping_add(1);
+        prop_assert_ne!(reseeded.digest(), spec.digest());
+        let mut rebatched = spec.clone();
+        rebatched.batch_envs += 1;
+        prop_assert_ne!(rebatched.digest(), spec.digest());
+    }
+
+    /// Malformed training documents yield typed `SpecError`s, never
+    /// panics: junk text, junk fields, wrong kinds, and misspelled
+    /// (unknown) keys all come back as `Err`.
+    #[test]
+    fn malformed_train_specs_error_instead_of_panicking(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let junk = random_junk(&mut rng);
+        let _ = TrainSpec::from_json(&junk);
+        // A misspelled optional field must be rejected, not defaulted.
+        let doc = format!(
+            "{{\"kind\":\"train\",\"name\":\"x\",\"seed\":1,\"boot_iter\":{}}}",
+            rng.gen_range(0u64..9)
+        );
+        prop_assert!(TrainSpec::from_json(&doc).is_err());
+        // An experiment document is never a training document.
+        let exp = random_experiment(seed).to_canonical_json();
+        prop_assert!(TrainSpec::from_json(&exp).is_err());
     }
 
     /// Eq. 2 rewards are bounded by [0, 1] for in-range objectives.

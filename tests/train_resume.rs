@@ -1,0 +1,216 @@
+//! Checkpoint/resume determinism for the `TrainSpec` pipeline, end to
+//! end through the umbrella crate: a run killed at iteration k and
+//! resumed from its checkpoint must produce a final model artifact
+//! byte-identical to the uninterrupted run's, a torn current checkpoint
+//! must degrade to the previous snapshot without losing that guarantee,
+//! and a zoo entry must be loadable and runnable as a registry scheme.
+
+use mocc::core::{
+    load_checkpoint, run_experiment_in, save_trained, train_spec, zoo_registry, TrainOptions,
+    TrainSpec,
+};
+use mocc::eval::{ExperimentSpec, SweepRunner, SweepSpec};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mocc-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The `train_smoke.json` budget: 9 schedule iterations, two lockstep
+/// envs, checkpoint every 2 — small enough that every test replays the
+/// full schedule several times.
+fn tiny_spec(name: &str) -> TrainSpec {
+    TrainSpec {
+        name: name.to_string(),
+        seed: 11,
+        config: "fast".to_string(),
+        omega_step: Some(4),
+        boot_iters: Some(2),
+        traverse_iters: Some(1),
+        traverse_cycles: Some(1),
+        rollout_steps: Some(60),
+        episode_mis: Some(40),
+        batch_envs: 2,
+        checkpoint_every: 2,
+        eval_episodes: 1,
+        ..TrainSpec::default()
+    }
+}
+
+/// Kill at iteration k, resume, and the final model is byte-identical
+/// to the uninterrupted run — the tentpole determinism guarantee.
+#[test]
+fn resume_after_kill_is_byte_identical() {
+    let spec = tiny_spec("resume-kill");
+    let total = spec.schedule_len().unwrap();
+    assert!(total >= 6, "budget too small to interrupt meaningfully");
+
+    // Uninterrupted reference run.
+    let full = train_spec(&spec, &TrainOptions::default()).unwrap();
+    assert!(full.completed);
+    assert_eq!(full.outcome.iterations, total);
+
+    // The same spec, killed at iteration 4 (checkpointing as it goes)...
+    let ck_dir = tmp_dir("kill-ck");
+    let killed = train_spec(
+        &spec,
+        &TrainOptions {
+            checkpoint_dir: Some(ck_dir.clone()),
+            max_iters: Some(4),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!killed.completed, "max_iters must cut the run short");
+    assert_eq!(load_checkpoint(&ck_dir).unwrap().iteration, 4);
+
+    // ...then resumed from the checkpoint directory.
+    let resumed = train_spec(
+        &spec,
+        &TrainOptions {
+            checkpoint_dir: Some(ck_dir.clone()),
+            resume_from: Some(ck_dir.clone()),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(resumed.outcome.iterations, total);
+    assert_eq!(
+        resumed.outcome.curve, full.outcome.curve,
+        "resumed training curve must replay draw for draw"
+    );
+    assert_eq!(
+        resumed.agent.to_json(),
+        full.agent.to_json(),
+        "resumed final model must be byte-identical"
+    );
+
+    // The determinism survives serialization into the zoo: both
+    // artifacts are the same bytes on disk.
+    let (zoo_a, zoo_b) = (tmp_dir("kill-zoo-a"), tmp_dir("kill-zoo-b"));
+    let path_a = save_trained(&zoo_a, &spec, &full.agent, full.outcome.iterations).unwrap();
+    let path_b = save_trained(&zoo_b, &spec, &resumed.agent, resumed.outcome.iterations).unwrap();
+    assert_eq!(
+        std::fs::read(&path_a).unwrap(),
+        std::fs::read(&path_b).unwrap()
+    );
+    for d in [ck_dir, zoo_a, zoo_b] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+/// Tearing the current checkpoint mid-write degrades resume to the
+/// previous snapshot — replaying more iterations, but landing on the
+/// identical final artifact.
+#[test]
+fn torn_checkpoint_degrades_to_previous_snapshot() {
+    let spec = tiny_spec("resume-torn");
+    let total = spec.schedule_len().unwrap();
+    let full = train_spec(&spec, &TrainOptions::default()).unwrap();
+
+    // checkpoint_every = 2 and max_iters = 6 leaves checkpoint.json at
+    // iteration 6 with checkpoint.prev.json at 4.
+    let ck_dir = tmp_dir("torn-ck");
+    train_spec(
+        &spec,
+        &TrainOptions {
+            checkpoint_dir: Some(ck_dir.clone()),
+            max_iters: Some(6),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(load_checkpoint(&ck_dir).unwrap().iteration, 6);
+
+    // Simulate a torn write of the current snapshot.
+    let main = ck_dir.join("checkpoint.json");
+    let mut text = std::fs::read_to_string(&main).unwrap();
+    text.truncate(text.len() / 2);
+    std::fs::write(&main, text).unwrap();
+    let fallback = load_checkpoint(&ck_dir).unwrap();
+    assert_eq!(fallback.iteration, 4, "torn current must fall back to prev");
+
+    let resumed = train_spec(
+        &spec,
+        &TrainOptions {
+            resume_from: Some(ck_dir.clone()),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(resumed.outcome.iterations, total);
+    assert_eq!(
+        resumed.agent.to_json(),
+        full.agent.to_json(),
+        "resume from the previous snapshot must still converge to the \
+         identical artifact"
+    );
+    let _ = std::fs::remove_dir_all(&ck_dir);
+}
+
+/// A trained zoo model registers as a scheme and drives a spec-file
+/// experiment through the custom-registry entry point.
+#[test]
+fn zoo_model_runs_as_registry_scheme() {
+    let spec = tiny_spec("resume-zoo");
+    let run = train_spec(&spec, &TrainOptions::default()).unwrap();
+    let zoo = tmp_dir("zoo-scheme");
+    save_trained(&zoo, &spec, &run.agent, run.outcome.iterations).unwrap();
+
+    let reg = zoo_registry(&zoo).unwrap();
+    assert!(reg.names().contains(&"resume-zoo"));
+
+    let mut matrix = SweepSpec::single_cell();
+    matrix.bandwidth_mbps = vec![4.0];
+    matrix.duration_s = 8;
+    let exp = ExperimentSpec::from_sweep("zoo-deploy", reg.parse("resume-zoo").unwrap(), &matrix);
+    let report = run_experiment_in(&SweepRunner::with_threads(1), &exp, &reg).unwrap();
+    assert_eq!(report.cells.len(), 1);
+    let cell = &report.cells[0];
+    assert!(
+        cell.utilization.is_finite() && cell.utilization > 0.0,
+        "zoo scheme must move traffic (utilization {})",
+        cell.utilization
+    );
+    let _ = std::fs::remove_dir_all(&zoo);
+}
+
+/// Dropping `resume_from` into a foreign spec's checkpoint directory is
+/// refused (digest mismatch), so a zoo run can't silently continue the
+/// wrong training.
+#[test]
+fn resume_refuses_checkpoint_from_different_spec() {
+    let spec_a = tiny_spec("resume-a");
+    let ck_dir = tmp_dir("foreign-ck");
+    train_spec(
+        &spec_a,
+        &TrainOptions {
+            checkpoint_dir: Some(ck_dir.clone()),
+            max_iters: Some(2),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+
+    let mut spec_b = tiny_spec("resume-b");
+    spec_b.seed = 12;
+    let err = match train_spec(
+        &spec_b,
+        &TrainOptions {
+            resume_from: Some(ck_dir.clone()),
+            ..TrainOptions::default()
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("resume against a foreign digest must fail"),
+    };
+    assert!(
+        err.to_string().contains("digest"),
+        "error must name the digest mismatch: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&ck_dir);
+}
