@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! mocc run <spec.json> [--threads N] [--batch N] [--fast-math] [--out FILE] [--cache] [--cache-dir DIR]
+//! mocc hunt <spec.json> [--budget N] [--baseline SCHEME] [--out-dir DIR] [--seed N] [--threads N]
 //! mocc train <spec.json> [--zoo DIR] [--resume DIR] [--out FILE] [--max-iters N]
 //! mocc validate <spec.json>...
 //! mocc list-schemes
@@ -19,6 +20,14 @@
 //! content-addressed result store (see `docs/CACHING.md`): cells seen
 //! before are served from disk, only missing cells are simulated, and
 //! the report bytes are identical either way.
+//!
+//! `hunt` runs the coverage-guided adversarial search
+//! (`mocc_core::hunt`, see `docs/EVALUATION.md`): starting from a
+//! sweep spec whose scheme is a `mocc` label, it mutates the scenario
+//! axes under a seeded RNG, scores the policy against a baseline
+//! scheme on each candidate cell, and writes every losing regime to
+//! `--out-dir` as a ready-to-run spec file that `mocc validate`
+//! accepts.
 //!
 //! `train` runs a [`TrainSpec`] document (see `docs/TRAINING.md`)
 //! through the checkpointed offline trainer and lands the artifact in
@@ -53,6 +62,7 @@ mocc — run declarative MOCC experiment specs (docs/SPECS.md)
 
 USAGE:
     mocc run <spec.json> [--threads N] [--batch N] [--fast-math] [--out FILE] [--cache] [--cache-dir DIR]
+    mocc hunt <spec.json> [--budget N] [--baseline SCHEME] [--out-dir DIR] [--seed N] [--threads N]
     mocc train <spec.json> [--zoo DIR] [--resume DIR] [--out FILE] [--max-iters N]
     mocc validate <spec.json>...
     mocc list-schemes
@@ -68,6 +78,14 @@ OPTIONS (run):
     --cache       memoize cells through the result store (docs/CACHING.md)
     --cache-dir DIR  store location (implies --cache; default:
                      $MOCC_CACHE_DIR or target/mocc-cache/store)
+
+OPTIONS (hunt):
+    --budget N        candidate cells to evaluate (default: 24; each costs
+                      two one-cell runs, policy and baseline)
+    --baseline SCHEME registry scheme to score against (default: cubic)
+    --out-dir DIR     where losing spec files land (default: target/mocc-hunt)
+    --seed N          mutation RNG seed (default: 7; independent of the
+                      spec's simulation seed)
 
 OPTIONS (train):
     --zoo DIR      model zoo directory (default: $MOCC_ZOO_DIR or models)
@@ -97,6 +115,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("hunt") => cmd_hunt(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list-schemes") => cmd_list_schemes(&args[1..]),
@@ -162,6 +181,30 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
                 )
             }
             "--max-iters" => opts.max_iters = Some(parse_count(&mut it, "--max-iters")?),
+            "--budget" => opts.budget = Some(parse_count(&mut it, "--budget")?),
+            "--seed" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--seed needs an unsigned integer".to_string())?;
+                opts.seed = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("--seed {raw:?} is not an unsigned integer"))?,
+                )
+            }
+            "--baseline" => {
+                opts.baseline = Some(
+                    it.next()
+                        .ok_or_else(|| "--baseline needs a scheme label".to_string())?
+                        .clone(),
+                )
+            }
+            "--out-dir" => {
+                opts.out_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--out-dir needs a directory path".to_string())?
+                        .clone(),
+                )
+            }
             "--socket" => {
                 opts.socket = Some(
                     it.next()
@@ -191,6 +234,10 @@ struct Options {
     zoo: Option<String>,
     resume: Option<String>,
     max_iters: Option<usize>,
+    budget: Option<usize>,
+    baseline: Option<String>,
+    out_dir: Option<String>,
+    seed: Option<u64>,
 }
 
 impl Options {
@@ -287,8 +334,10 @@ fn spec_kind(path: &str) -> Option<String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (positional, opts) = split_options(args)?;
-    if opts.socket.is_some() || opts.older_than_days.is_some() {
-        return Err("`mocc run` does not take --socket or --older-than-days".to_string());
+    if opts.socket.is_some() || opts.older_than_days.is_some() || opts.budget.is_some() {
+        return Err(
+            "`mocc run` does not take --socket, --older-than-days, or --budget".to_string(),
+        );
     }
     let &[path] = positional.as_slice() else {
         return Err(format!("`mocc run` takes exactly one spec file\n\n{USAGE}"));
@@ -348,6 +397,68 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(out) => std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?,
         None => println!("{json}"),
     }
+    Ok(())
+}
+
+/// Runs the coverage-guided adversarial search over one sweep spec:
+/// mutate scenario axes under a seeded RNG, score the MOCC policy
+/// against a baseline scheme per cell, and emit every losing regime
+/// as a ready-to-run spec file.
+fn cmd_hunt(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    if opts.batch.is_some() || opts.fast_math || opts.cache || opts.out.is_some() {
+        return Err(
+            "`mocc hunt` takes only --budget, --baseline, --out-dir, --seed, and --threads"
+                .to_string(),
+        );
+    }
+    let &[path] = positional.as_slice() else {
+        return Err(format!(
+            "`mocc hunt` takes exactly one spec file\n\n{USAGE}"
+        ));
+    };
+    let exp = load_spec(path)?;
+    let mut hunt_opts = mocc_core::HuntOptions::default();
+    if let Some(budget) = opts.budget {
+        hunt_opts.budget = budget;
+    }
+    if let Some(baseline) = &opts.baseline {
+        hunt_opts.baseline = baseline.clone();
+    }
+    if let Some(dir) = &opts.out_dir {
+        hunt_opts.out_dir = PathBuf::from(dir);
+    }
+    if let Some(seed) = opts.seed {
+        hunt_opts.seed = seed;
+    }
+    let runner = opts.runner();
+    eprintln!(
+        "[mocc] hunt {}: budget {} vs baseline {:?}, seed {}, {} worker threads",
+        exp.name,
+        hunt_opts.budget,
+        hunt_opts.baseline,
+        hunt_opts.seed,
+        runner.threads()
+    );
+    let outcome = mocc_core::hunt(&runner, &exp, &hunt_opts).map_err(|e| format!("{path}: {e}"))?;
+    for f in &outcome.findings {
+        println!(
+            "{}  margin {:+.4} (mocc {:.4} vs {} {:.4})",
+            f.path.display(),
+            f.margin,
+            f.mocc_utility,
+            hunt_opts.baseline,
+            f.baseline_utility
+        );
+    }
+    eprintln!(
+        "[mocc] hunt {}: {} candidates evaluated, {} regimes covered, {} losing specs in {}",
+        exp.name,
+        outcome.evaluated,
+        outcome.coverage,
+        outcome.findings.len(),
+        hunt_opts.out_dir.display()
+    );
     Ok(())
 }
 
@@ -432,6 +543,10 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         || opts.zoo.is_some()
         || opts.resume.is_some()
         || opts.max_iters.is_some()
+        || opts.budget.is_some()
+        || opts.baseline.is_some()
+        || opts.out_dir.is_some()
+        || opts.seed.is_some()
     {
         return Err("`mocc validate` takes no options".to_string());
     }
@@ -496,7 +611,10 @@ fn cmd_list_schemes(args: &[String]) -> Result<(), String> {
     println!("  mocc:lat       latency preference <0.1, 0.8, 0.1>");
     println!("  mocc:bal       balanced preference <1/3, 1/3, 1/3>");
     println!("  mocc:w1,w2,w3  explicit (thr, lat, loss) weights, normalized");
-    println!("\ncompetition mixes: duel:<a>+<b>[+…] | stair:<scheme>:<n>x<phase_s>");
+    println!(
+        "\ncompetition mixes: duel:<a>+<b>[+…] | stair:<scheme>:<n>x<phase_s> \
+         | incast:<scheme>:<n>x<stagger_s>"
+    );
     Ok(())
 }
 

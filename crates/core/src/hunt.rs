@@ -1,0 +1,444 @@
+//! Coverage-guided adversarial scenario search: find the regimes where
+//! MOCC *loses*.
+//!
+//! Sweeps tell you how a policy does on a fixed grid; an adversary
+//! wants the cells the grid missed. [`hunt`] takes a sweep
+//! [`ExperimentSpec`] whose scheme is a `mocc` label and searches the
+//! surrounding scenario space for cells where the policy's utility
+//! falls below a named baseline scheme's on the *same* seeded cell:
+//!
+//! 1. start from the spec's own axis values (the first value of each
+//!    axis is candidate zero);
+//! 2. repeatedly pick a frontier candidate and mutate one or two axes
+//!    under a seeded RNG (bandwidth/delay/queue by octave steps, loss
+//!    by small absolute nudges, trace shape and flow load from pools
+//!    that include the spec's own values — so recorded-trace replay
+//!    shapes participate in the search);
+//! 3. score each unseen candidate by running the one-cell experiment
+//!    twice through [`run_experiment`] — once with the MOCC scheme and
+//!    policy, once with the baseline — and comparing mean utilities on
+//!    the canonical reports;
+//! 4. *coverage guidance*: candidates mapping to an unseen quantized
+//!    signature (octave buckets per axis + shape/load labels) join the
+//!    frontier, so the search keeps expanding into new regimes instead
+//!    of resampling the same neighborhood;
+//! 5. every losing candidate (MOCC utility < baseline utility) is
+//!    emitted as a ready-to-run spec file that `mocc validate`
+//!    accepts and `mocc run` reproduces — losing regimes become
+//!    regression workloads, not anecdotes.
+//!
+//! Everything is deterministic: same spec, seed, and budget produce
+//! the same candidates, scores, and emitted files (the reports
+//! themselves are canonical JSON, byte-identical across thread
+//! counts).
+
+use crate::experiment::run_experiment;
+use mocc_eval::{
+    ExperimentSpec, FlowLoad, SchemeRegistry, SchemeSpec, SpecError, SweepRunner, SweepWorkload,
+    TraceShape, Workload,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Tunables of one adversarial search.
+#[derive(Debug, Clone)]
+pub struct HuntOptions {
+    /// Candidate evaluations to spend (each costs two one-cell runs).
+    pub budget: usize,
+    /// Baseline scheme label the policy is scored against (non-MOCC,
+    /// registry-resolvable).
+    pub baseline: String,
+    /// RNG seed of the mutation stream (independent of the spec's
+    /// simulation seed).
+    pub seed: u64,
+    /// Directory the losing spec files are written to.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HuntOptions {
+    fn default() -> Self {
+        HuntOptions {
+            budget: 24,
+            baseline: "cubic".to_string(),
+            seed: 7,
+            out_dir: PathBuf::from("target/mocc-hunt"),
+        }
+    }
+}
+
+/// One losing regime the search found.
+#[derive(Debug, Clone)]
+pub struct HuntFinding {
+    /// The ready-to-run MOCC spec of the losing cell.
+    pub spec: ExperimentSpec,
+    /// Mean utility of the MOCC run.
+    pub mocc_utility: f64,
+    /// Mean utility of the baseline run on the same cell.
+    pub baseline_utility: f64,
+    /// `mocc_utility − baseline_utility` (negative by construction).
+    pub margin: f64,
+    /// Where the spec file was written.
+    pub path: PathBuf,
+}
+
+/// Summary of a finished search.
+#[derive(Debug, Clone)]
+pub struct HuntOutcome {
+    /// Candidates actually scored (≤ budget; duplicates are skipped
+    /// without spending budget evaluations).
+    pub evaluated: usize,
+    /// Distinct quantized signatures visited.
+    pub coverage: usize,
+    /// The losing regimes, in discovery order.
+    pub findings: Vec<HuntFinding>,
+}
+
+/// One point of the scenario space: single values along each sweep
+/// axis.
+#[derive(Debug, Clone)]
+struct Candidate {
+    bandwidth_mbps: f64,
+    owd_ms: u64,
+    queue_pkts: usize,
+    loss: f64,
+    shape: TraceShape,
+    load: FlowLoad,
+}
+
+impl Candidate {
+    /// The quantized coverage signature: octave buckets for the
+    /// continuous axes plus the exact shape/load labels. Two
+    /// candidates in the same bucket probe the same regime, so only
+    /// the first spends budget.
+    fn signature(&self) -> String {
+        let octave = |v: f64| v.max(1e-9).log2().round() as i64;
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            octave(self.bandwidth_mbps),
+            octave(self.owd_ms as f64),
+            octave(self.queue_pkts as f64),
+            (self.loss * 50.0).round() as i64, // 2 %-wide loss buckets
+            self.shape.label(),
+            self.load.label(),
+        )
+    }
+
+    /// The one-cell experiment at this point, under `scheme`.
+    fn to_spec(&self, base: &ExperimentSpec, name: &str, scheme: SchemeSpec) -> ExperimentSpec {
+        let mut exp = base.clone();
+        exp.name = name.to_string();
+        exp.axes.bandwidth_mbps = vec![self.bandwidth_mbps];
+        exp.axes.owd_ms = vec![self.owd_ms];
+        exp.axes.queue_pkts = vec![self.queue_pkts];
+        let needs_policy = scheme.is_mocc();
+        exp.workload = Workload::Sweep(SweepWorkload {
+            scheme,
+            loss: vec![self.loss],
+            shapes: vec![self.shape.clone()],
+            loads: vec![self.load],
+        });
+        if !needs_policy {
+            exp.policy = None;
+        }
+        exp
+    }
+
+    /// Mutates one axis in place under `rng`, drawing shapes/loads
+    /// from the given pools.
+    fn mutate(&mut self, rng: &mut StdRng, shapes: &[TraceShape], loads: &[FlowLoad]) {
+        // Octave steps keep mutated values on the coverage lattice.
+        let step = |rng: &mut StdRng| -> f64 { [0.25, 0.5, 2.0, 4.0][rng.gen_range(0..4usize)] };
+        match rng.gen_range(0..6) {
+            0 => {
+                self.bandwidth_mbps = (self.bandwidth_mbps * step(rng)).clamp(1.0, 200.0);
+            }
+            1 => {
+                let owd = (self.owd_ms as f64 * step(rng)).round();
+                self.owd_ms = (owd as u64).clamp(1, 400);
+            }
+            2 => {
+                let q = (self.queue_pkts as f64 * step(rng)).round();
+                self.queue_pkts = (q as usize).clamp(10, 10_000);
+            }
+            3 => {
+                const LOSS: [f64; 6] = [0.0, 0.01, 0.02, 0.04, 0.08, 0.16];
+                self.loss = LOSS[rng.gen_range(0..LOSS.len())];
+            }
+            4 => {
+                self.shape = shapes[rng.gen_range(0..shapes.len())].clone();
+            }
+            _ => {
+                self.load = loads[rng.gen_range(0..loads.len())];
+            }
+        }
+    }
+}
+
+/// Validates hunt preconditions and pulls the sweep workload out of
+/// the spec: the scheme must be a `mocc` label (hunting a baseline
+/// against a baseline is a spec mistake) and the baseline must be a
+/// non-MOCC registry scheme.
+fn hunt_workload<'a>(
+    exp: &'a ExperimentSpec,
+    opts: &HuntOptions,
+) -> Result<&'a SweepWorkload, SpecError> {
+    let registry = SchemeRegistry::builtin();
+    exp.validate_in(&registry)?;
+    let Workload::Sweep(w) = &exp.workload else {
+        return Err(SpecError::InvalidSpec {
+            reason: "hunt needs a sweep spec (kind = \"sweep\"); competition specs \
+                     have no single scheme to score against a baseline"
+                .to_string(),
+        });
+    };
+    if !w.scheme.is_mocc() {
+        return Err(SpecError::InvalidSpec {
+            reason: format!(
+                "hunt needs a `mocc` scheme under test, got {:?} — the search looks \
+                 for regimes where the *policy* loses",
+                w.scheme.label()
+            ),
+        });
+    }
+    let baseline = SchemeSpec::parse(&opts.baseline)?;
+    if baseline.is_mocc() {
+        return Err(SpecError::InvalidSpec {
+            reason: format!(
+                "hunt baseline {:?} is a MOCC label; score against a classic \
+                 scheme (e.g. \"cubic\")",
+                opts.baseline
+            ),
+        });
+    }
+    registry.resolve(&baseline)?;
+    Ok(w)
+}
+
+/// Runs the coverage-guided adversarial search. See the module docs
+/// for the algorithm; every losing regime is written to
+/// `opts.out_dir` as `<name>-hunt-<k>.json` and returned in the
+/// outcome.
+pub fn hunt(
+    runner: &SweepRunner,
+    exp: &ExperimentSpec,
+    opts: &HuntOptions,
+) -> Result<HuntOutcome, SpecError> {
+    let w = hunt_workload(exp, opts)?;
+    if opts.budget == 0 {
+        return Err(SpecError::InvalidSpec {
+            reason: "hunt budget must be >= 1".to_string(),
+        });
+    }
+    std::fs::create_dir_all(&opts.out_dir).map_err(|e| SpecError::Io {
+        path: opts.out_dir.display().to_string(),
+        reason: e.to_string(),
+    })?;
+
+    // Mutation pools: the spec's own axis values plus a fixed set of
+    // probes, deduplicated by label so replay shapes join exactly once.
+    let mut shapes = w.shapes.clone();
+    for extra in [
+        TraceShape::Constant,
+        TraceShape::Square { period_s: 2.0 },
+        TraceShape::Oscillating {
+            steps: 4,
+            dwell_s: 2.0,
+        },
+    ] {
+        if !shapes.iter().any(|s| s.label() == extra.label()) {
+            shapes.push(extra);
+        }
+    }
+    let mut loads = w.loads.clone();
+    for extra in [
+        FlowLoad::Steady(1),
+        FlowLoad::Steady(4),
+        FlowLoad::OnOffCross(1),
+        FlowLoad::OnOffCross(2),
+        FlowLoad::RpcCross(2),
+    ] {
+        if !loads.contains(&extra) {
+            loads.push(extra);
+        }
+    }
+
+    let seed_candidate = Candidate {
+        bandwidth_mbps: exp.axes.bandwidth_mbps[0],
+        owd_ms: exp.axes.owd_ms[0],
+        queue_pkts: exp.axes.queue_pkts[0],
+        loss: w.loss[0],
+        shape: w.shapes[0].clone(),
+        load: w.loads[0],
+    };
+    let mocc_scheme = w.scheme.clone();
+    let baseline_scheme = SchemeSpec::parse(&opts.baseline)?;
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: Vec<Candidate> = vec![seed_candidate.clone()];
+    let mut findings: Vec<HuntFinding> = Vec::new();
+    let mut evaluated = 0usize;
+    let mut next = Some(seed_candidate);
+
+    while evaluated < opts.budget {
+        let candidate = match next.take() {
+            Some(c) => c,
+            None => {
+                // Pick a frontier point and mutate one or two axes.
+                let mut c = frontier[rng.gen_range(0..frontier.len())].clone();
+                c.mutate(&mut rng, &shapes, &loads);
+                if rng.gen_range(0..2) == 1 {
+                    c.mutate(&mut rng, &shapes, &loads);
+                }
+                c
+            }
+        };
+        let sig = candidate.signature();
+        if !visited.insert(sig) {
+            continue; // already probed this regime; costs no budget
+        }
+        frontier.push(candidate.clone());
+        evaluated += 1;
+
+        let name = format!("{}-hunt-{:03}", exp.name, findings.len());
+        let mocc_spec = candidate.to_spec(exp, &name, mocc_scheme.clone());
+        let mocc_report = run_experiment(runner, &mocc_spec)?;
+        let base_spec = candidate.to_spec(exp, &name, baseline_scheme.clone());
+        let base_report = run_experiment(runner, &base_spec)?;
+
+        let mocc_utility = mocc_report.summary.mean_utility;
+        let baseline_utility = base_report.summary.mean_utility;
+        let margin = mocc_utility - baseline_utility;
+        if margin < 0.0 {
+            let path = opts.out_dir.join(format!("{name}.json"));
+            let body = mocc_spec.to_canonical_json();
+            std::fs::write(&path, body.as_bytes()).map_err(|e| SpecError::Io {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
+            findings.push(HuntFinding {
+                spec: mocc_spec,
+                mocc_utility,
+                baseline_utility,
+                margin,
+                path,
+            });
+        }
+    }
+
+    Ok(HuntOutcome {
+        evaluated,
+        coverage: visited.len(),
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocc_eval::{Axes, PolicySpec};
+
+    fn hunt_exp() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "hunt-smoke".to_string(),
+            axes: Axes {
+                bandwidth_mbps: vec![8.0],
+                owd_ms: vec![20],
+                queue_pkts: vec![120],
+            },
+            duration_s: 3,
+            mss_bytes: 1500,
+            seed: 7,
+            agent_mi: true,
+            workload: Workload::Sweep(SweepWorkload {
+                scheme: SchemeSpec::parse("mocc").unwrap(),
+                loss: vec![0.0],
+                shapes: vec![TraceShape::Constant],
+                loads: vec![FlowLoad::Steady(1)],
+            }),
+            policy: Some(PolicySpec::default()),
+        }
+    }
+
+    fn opts(dir: &str) -> HuntOptions {
+        HuntOptions {
+            budget: 4,
+            out_dir: std::env::temp_dir().join(dir),
+            ..HuntOptions::default()
+        }
+    }
+
+    #[test]
+    fn hunt_terminates_and_emits_valid_losing_specs() {
+        let o = opts("mocc-hunt-test-basic");
+        let runner = SweepRunner::with_threads(2);
+        let out = hunt(&runner, &hunt_exp(), &o).unwrap();
+        assert_eq!(out.evaluated, 4);
+        assert!(out.coverage >= out.evaluated);
+        // An untrained seeded policy loses to cubic in most regimes —
+        // the smoke contract the CI hunt job also relies on.
+        assert!(!out.findings.is_empty(), "expected losing regimes");
+        for f in &out.findings {
+            assert!(f.margin < 0.0);
+            let text = std::fs::read_to_string(&f.path).unwrap();
+            let spec = ExperimentSpec::from_json(&text).unwrap();
+            assert_eq!(spec, f.spec);
+            spec.validate().unwrap();
+            assert_eq!(spec.cell_count(), 1);
+        }
+        std::fs::remove_dir_all(&o.out_dir).ok();
+    }
+
+    #[test]
+    fn hunt_is_deterministic() {
+        let o1 = opts("mocc-hunt-test-det1");
+        let o2 = opts("mocc-hunt-test-det2");
+        let runner = SweepRunner::with_threads(1);
+        let a = hunt(&runner, &hunt_exp(), &o1).unwrap();
+        let b = hunt(&runner, &hunt_exp(), &o2).unwrap();
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.findings.len(), b.findings.len());
+        for (x, y) in a.findings.iter().zip(&b.findings) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.margin, y.margin);
+        }
+        std::fs::remove_dir_all(&o1.out_dir).ok();
+        std::fs::remove_dir_all(&o2.out_dir).ok();
+    }
+
+    #[test]
+    fn hunt_rejects_non_mocc_and_bad_baselines() {
+        let o = opts("mocc-hunt-test-reject");
+        let runner = SweepRunner::with_threads(1);
+
+        let mut exp = hunt_exp();
+        if let Workload::Sweep(w) = &mut exp.workload {
+            w.scheme = SchemeSpec::parse("cubic").unwrap();
+        }
+        exp.policy = None;
+        assert!(matches!(
+            hunt(&runner, &exp, &o),
+            Err(SpecError::InvalidSpec { .. })
+        ));
+
+        let bad_baseline = HuntOptions {
+            baseline: "mocc:thr".to_string(),
+            ..o.clone()
+        };
+        assert!(matches!(
+            hunt(&runner, &hunt_exp(), &bad_baseline),
+            Err(SpecError::InvalidSpec { .. })
+        ));
+
+        let unknown_baseline = HuntOptions {
+            baseline: "reno".to_string(),
+            ..o
+        };
+        assert!(matches!(
+            hunt(&runner, &hunt_exp(), &unknown_baseline),
+            Err(SpecError::UnknownScheme { .. })
+        ));
+    }
+}

@@ -41,6 +41,7 @@ pub mod config;
 pub mod env;
 pub mod experiment;
 pub mod graph;
+pub mod hunt;
 pub mod online;
 pub mod preference;
 pub mod prefnet;
@@ -60,6 +61,7 @@ pub use experiment::{
     agent_from_policy, evaluator_from_policy, policy_digest, run_experiment, run_experiment_cached,
     run_experiment_cached_in, run_experiment_in,
 };
+pub use hunt::{hunt, HuntFinding, HuntOptions, HuntOutcome};
 pub use online::{convergence_iter, AdaptationPoint, OnlineAdapter};
 pub use preference::{landmark_count, landmarks, nearest, Preference};
 pub use prefnet::{PrefNet, PrefNetScratch};

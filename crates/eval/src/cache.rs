@@ -182,6 +182,14 @@ pub fn sweep_cell_key(
     obj.insert("shape".to_string(), Value::Str(cell.shape.label()));
     obj.insert("load".to_string(), Value::Str(cell.load.label()));
     obj.insert("scheme".to_string(), Value::Str(scheme.to_string()));
+    // Replay cells only: the shape label names a *file*, so the file's
+    // content digest must be part of the identity (editing a recording
+    // invalidates its cached cells). Generator-shape documents are
+    // byte-identical to the pre-replay key schema, so existing stores
+    // keep hitting.
+    if let Some(digest) = cell.shape.trace_digest() {
+        obj.insert("trace_digest".to_string(), Value::Str(digest.to_string()));
+    }
     doc_key(obj)
 }
 
@@ -352,6 +360,28 @@ mod tests {
             panic!("policy identity serializes to an object");
         };
         assert_eq!(fast.get("fast_math"), Some(&Value::Bool(true)));
+    }
+
+    /// A replay cell's key must move when the trace file's *content*
+    /// changes, even though the shape label (the path) is unchanged.
+    #[test]
+    fn replay_trace_digest_moves_the_key() {
+        use crate::spec::{ReplayTrace, TraceShape};
+        let s = spec();
+        let mut cell = s.expand()[0].clone();
+        let base = sweep_cell_key(&cell, "cubic", &s, None);
+        let replay = |digest: &str| {
+            TraceShape::Replay(ReplayTrace {
+                path: "traces/x.json".to_string(),
+                digest: digest.to_string(),
+                samples: vec![(0.0, 5.0)],
+            })
+        };
+        cell.shape = replay(&"a".repeat(64));
+        let key_a = sweep_cell_key(&cell, "cubic", &s, None);
+        assert_ne!(key_a, base);
+        cell.shape = replay(&"b".repeat(64));
+        assert_ne!(sweep_cell_key(&cell, "cubic", &s, None), key_a);
     }
 
     #[test]

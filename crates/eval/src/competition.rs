@@ -10,7 +10,11 @@
 //!   TCP, TCP vs TCP);
 //! - [`ContenderMix::Staircase`]: `n` flows of one scheme join every
 //!   `phase_s` seconds and leave in reverse order — dynamic churn with
-//!   well-defined fair-share windows.
+//!   well-defined fair-share windows;
+//! - [`ContenderMix::Incast`]: `n` flows of one scheme join every
+//!   `stagger_s` seconds and all run to the horizon — the many-flow
+//!   datacenter incast pattern, stressing convergence as the
+//!   population ramps up.
 //!
 //! Each expanded [`CompetitionCell`] reduces to the ordinary
 //! [`CellReport`] (so competition results ride the existing
@@ -57,6 +61,18 @@ pub enum ContenderMix {
         /// leaves).
         phase_s: f64,
     },
+    /// `n` flows of `scheme`: flow `i` joins at `i × stagger_s` and
+    /// every flow runs to the horizon — a many-flow incast ramp (the
+    /// datacenter fan-in pattern) whose full-overlap plateau is the
+    /// tail after the last join.
+    Incast {
+        /// Scheme label for every flow.
+        scheme: String,
+        /// Number of flows (≥ 1).
+        n: usize,
+        /// Seconds between successive joins.
+        stagger_s: f64,
+    },
 }
 
 impl ContenderMix {
@@ -74,6 +90,15 @@ impl ContenderMix {
         }
     }
 
+    /// Convenience many-flow incast mix.
+    pub fn incast(scheme: &str, n: usize, stagger_s: f64) -> Self {
+        ContenderMix::Incast {
+            scheme: scheme.to_string(),
+            n,
+            stagger_s,
+        }
+    }
+
     /// Canonical short label used in reports (stable across versions;
     /// golden fixtures depend on it).
     pub fn label(&self) -> String {
@@ -82,6 +107,11 @@ impl ContenderMix {
             ContenderMix::Staircase { scheme, n, phase_s } => {
                 format!("stair:{scheme}:{n}x{phase_s}")
             }
+            ContenderMix::Incast {
+                scheme,
+                n,
+                stagger_s,
+            } => format!("incast:{scheme}:{n}x{stagger_s}"),
         }
     }
 
@@ -131,8 +161,35 @@ impl ContenderMix {
                 phase_s,
             });
         }
+        if let Some(spec) = label.strip_prefix("incast:") {
+            let (scheme, shape) = spec.rsplit_once(':').ok_or_else(|| {
+                bad(format!(
+                    "mix {label:?}: expected `incast:<scheme>:<n>x<stagger_s>`"
+                ))
+            })?;
+            let (n, stagger) = shape
+                .split_once('x')
+                .ok_or_else(|| bad(format!("mix {label:?}: bad incast shape {shape:?}")))?;
+            let n: usize = n
+                .parse()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| bad(format!("mix {label:?}: bad flow count {n:?}")))?;
+            let stagger_s: f64 = stagger
+                .parse()
+                .ok()
+                .filter(|p: &f64| p.is_finite() && *p > 0.0)
+                .ok_or_else(|| bad(format!("mix {label:?}: bad stagger {stagger:?}")))?;
+            SchemeSpec::parse(scheme)?;
+            return Ok(ContenderMix::Incast {
+                scheme: scheme.to_string(),
+                n,
+                stagger_s,
+            });
+        }
         Err(bad(format!(
-            "unknown mix {label:?}: expected `duel:<a>+<b>[+…]` or `stair:<scheme>:<n>x<phase_s>`"
+            "unknown mix {label:?}: expected `duel:<a>+<b>[+…]`, \
+             `stair:<scheme>:<n>x<phase_s>`, or `incast:<scheme>:<n>x<stagger_s>`"
         )))
     }
 
@@ -188,6 +245,13 @@ impl ContenderMix {
                     let stop = (i > 0).then(|| duration_s as f64 - i as f64 * phase_s);
                     (scheme.clone(), start, stop)
                 })
+                .collect(),
+            ContenderMix::Incast {
+                scheme,
+                n,
+                stagger_s,
+            } => (0..(*n).max(1))
+                .map(|i| (scheme.clone(), i as f64 * stagger_s, None))
                 .collect(),
         }
     }
@@ -706,6 +770,10 @@ mod tests {
             ContenderMix::staircase("cubic", 3, 4.0).label(),
             "stair:cubic:3x4"
         );
+        assert_eq!(
+            ContenderMix::incast("cubic", 8, 0.5).label(),
+            "incast:cubic:8x0.5"
+        );
     }
 
     /// Mix labels parse back to their values — including staircase
@@ -719,6 +787,8 @@ mod tests {
             ContenderMix::Duel(vec!["cubic".into(), "bbr".into(), "vegas".into()]),
             ContenderMix::staircase("cubic", 3, 4.0),
             ContenderMix::staircase("mocc:bal", 2, 1.5),
+            ContenderMix::incast("cubic", 8, 0.5),
+            ContenderMix::incast("mocc:bal", 4, 1.0),
         ];
         for mix in &mixes {
             assert_eq!(&ContenderMix::parse(&mix.label()).unwrap(), mix);
@@ -733,9 +803,40 @@ mod tests {
             "stair:cubic:3x-1",
             "melee:cubic+bbr",
             "duel:mocc:oops+cubic",
+            "incast:cubic",
+            "incast:cubic:0x1",
+            "incast:cubic:4xnope",
+            "incast::4x1",
+            "incast:mocc:oops:4x1",
         ] {
             assert!(ContenderMix::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn incast_lineup_ramps_up_and_runs_to_the_horizon() {
+        let mix = ContenderMix::incast("cubic", 4, 0.5);
+        let lineup = mix.lineup(20);
+        assert_eq!(lineup.len(), 4);
+        assert_eq!(lineup[0], ("cubic".into(), 0.0, None));
+        assert_eq!(lineup[3], ("cubic".into(), 1.5, None));
+        assert!(mix.validate_windows(20).is_ok());
+        // The plateau is the tail after the last join; a horizon that
+        // ends inside the ramp leaves no whole-second overlap.
+        assert!(mix.validate_windows(2).is_err());
+    }
+
+    #[test]
+    fn incast_produces_finite_metrics_end_to_end() {
+        let mut spec = CompetitionSpec::quick();
+        spec.mixes = vec![ContenderMix::incast("cubic", 4, 0.5)];
+        spec.duration_s = 10;
+        let cell = spec.expand().remove(0);
+        assert_eq!(cell.labels.len(), 4);
+        assert_eq!(cell.overlap_window(), (2, 10));
+        let rep = run_competition_cell(&cell, &BaselineContenders);
+        assert!(rep.goodput_mbps > 1.0, "{rep:?}");
+        assert!(rep.jain > 0.0 && rep.jain <= 1.0, "{rep:?}");
     }
 
     #[test]

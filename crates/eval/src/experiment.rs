@@ -212,17 +212,33 @@ impl ExperimentSpec {
     }
 
     /// Lowers a sweep experiment onto the expansion-level
-    /// [`SweepSpec`]; `None` for competition experiments.
+    /// [`SweepSpec`]; `None` for competition experiments. Replay
+    /// shapes are resolved here (trace file loaded, digested, and
+    /// validated) so the expanded cells carry concrete samples and
+    /// content digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replay trace file fails to resolve — run
+    /// [`ExperimentSpec::validate`] first to get the typed error.
     pub fn to_sweep_spec(&self) -> Option<SweepSpec> {
         let Workload::Sweep(w) = &self.workload else {
             return None;
         };
+        let shapes = w
+            .shapes
+            .iter()
+            .map(|s| {
+                s.resolved()
+                    .unwrap_or_else(|e| panic!("{e} (spec not validated?)"))
+            })
+            .collect();
         Some(SweepSpec {
             bandwidth_mbps: self.axes.bandwidth_mbps.clone(),
             owd_ms: self.axes.owd_ms.clone(),
             queue_pkts: self.axes.queue_pkts.clone(),
             loss: w.loss.clone(),
-            shapes: w.shapes.clone(),
+            shapes,
             loads: w.loads.clone(),
             duration_s: self.duration_s,
             mss_bytes: self.mss_bytes,
@@ -355,6 +371,14 @@ impl ExperimentSpec {
                     .find(|l| !l.is_finite() || **l < 0.0 || **l >= 1.0)
                 {
                     return invalid(format!("loss value {bad} must be in [0, 1)"));
+                }
+                for shape in &w.shapes {
+                    // Parameter sanity first, then (for replay shapes)
+                    // the trace file itself: existence, format, and
+                    // sample validity all surface as typed errors here
+                    // instead of panics mid-expansion.
+                    shape.validate()?;
+                    shape.resolved()?;
                 }
                 registry.resolve(&w.scheme)?;
             }

@@ -87,4 +87,4 @@ pub use runner::{
     parse_threads, run_cell, BaselineFactory, CellEvaluator, CellFactory, SweepRunner, THREADS_ENV,
 };
 pub use scheme::{MoccPrefSpec, SchemeCtx, SchemeKind, SchemeRegistry, SchemeSpec, SpecError};
-pub use spec::{cell_seed, FlowLoad, SweepCell, SweepSpec, TraceShape};
+pub use spec::{cell_seed, FlowLoad, ReplayTrace, SweepCell, SweepSpec, TraceShape};

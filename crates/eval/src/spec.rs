@@ -14,9 +14,101 @@ use crate::scheme::SpecError;
 use mocc_netsim::time::SimDuration;
 use mocc_netsim::{BandwidthTrace, FlowSpec, LinkSpec, MiMode, Scenario};
 
+/// A recorded bandwidth trace referenced by a [`TraceShape::Replay`]
+/// axis value.
+///
+/// The spec-level identity of a replay shape is its `path` (that is
+/// what the label carries and what [`PartialEq`] compares); `digest`
+/// and `samples` are *derived* state filled in by
+/// [`TraceShape::resolved`] when the file is loaded. The digest — the
+/// SHA-256 of the file's bytes — is what enters cache keys, so editing
+/// a trace file invalidates its cached cells even though the label is
+/// unchanged.
+///
+/// Trace files are JSON documents of the form
+/// `{"description": "…", "samples": [[time_s, rate_mbps], …]}` with
+/// strictly increasing, finite, non-negative times and finite,
+/// strictly positive rates. See `docs/SPECS.md` and the corpus under
+/// `examples/traces/`.
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    /// Path of the trace file, relative to the working directory.
+    pub path: String,
+    /// SHA-256 of the file bytes; empty until resolved.
+    pub digest: String,
+    /// Recorded `(time_s, rate_mbps)` samples; empty until resolved.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl PartialEq for ReplayTrace {
+    fn eq(&self, other: &Self) -> bool {
+        // Spec identity is the path; digest/samples are derived and
+        // would make `parse(label(x)) == x` fail for resolved shapes.
+        self.path == other.path
+    }
+}
+
+impl ReplayTrace {
+    /// Loads, digests, and validates the trace file, returning a
+    /// resolved copy. All failures are typed errors, never panics.
+    fn resolve(&self) -> Result<ReplayTrace, SpecError> {
+        let bytes = std::fs::read(&self.path).map_err(|e| SpecError::Io {
+            path: self.path.clone(),
+            reason: e.to_string(),
+        })?;
+        let digest = mocc_store::sha256_hex(&bytes);
+        let text = String::from_utf8(bytes).map_err(|e| SpecError::Json {
+            reason: format!("trace file {}: {e}", self.path),
+        })?;
+        let doc: serde::Value = serde_json::from_str(&text).map_err(|e| SpecError::Json {
+            reason: format!("trace file {}: {e}", self.path),
+        })?;
+        let invalid = |reason: String| SpecError::InvalidSpec {
+            reason: format!("trace file {}: {reason}", self.path),
+        };
+        let serde::Value::Obj(obj) = &doc else {
+            return Err(invalid("expected a JSON object".to_string()));
+        };
+        for key in obj.keys() {
+            if !matches!(key.as_str(), "samples" | "description") {
+                return Err(invalid(format!(
+                    "unknown field `{key}` (known fields: description, samples)"
+                )));
+            }
+        }
+        let Some(serde::Value::Arr(rows)) = obj.get("samples") else {
+            return Err(invalid(
+                "expected a `samples` array of [time_s, rate_mbps] pairs".to_string(),
+            ));
+        };
+        let mut samples = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let pair = match row {
+                serde::Value::Arr(p) if p.len() == 2 => p[0].as_f64().zip(p[1].as_f64()),
+                _ => None,
+            };
+            let Some((t, rate)) = pair else {
+                return Err(invalid(format!(
+                    "sample {i}: expected a [time_s, rate_mbps] number pair, got {row:?}"
+                )));
+            };
+            samples.push((t, rate));
+        }
+        // Reuse the netsim-level sample validation (monotone times,
+        // positive finite rates); the built trace is discarded — the
+        // real one is built per cell, normalized to the cell peak.
+        BandwidthTrace::from_samples(&samples).map_err(invalid)?;
+        Ok(ReplayTrace {
+            path: self.path.clone(),
+            digest,
+            samples,
+        })
+    }
+}
+
 /// Shape of the bottleneck bandwidth trace in a sweep cell. The cell's
 /// bandwidth value is always the trace's *peak* rate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceShape {
     /// Constant rate.
     Constant,
@@ -35,6 +127,11 @@ pub enum TraceShape {
         /// Seconds per level.
         dwell_s: f64,
     },
+    /// Replay of a recorded bandwidth trace file, normalized so its
+    /// peak equals the cell bandwidth (one recording sweeps every
+    /// bandwidth axis value; the "cell bandwidth = trace peak"
+    /// invariant that `bdp_pkts`/utilization rely on is preserved).
+    Replay(ReplayTrace),
 }
 
 impl TraceShape {
@@ -45,7 +142,17 @@ impl TraceShape {
             TraceShape::Constant => "constant".to_string(),
             TraceShape::Square { period_s } => format!("square:{period_s}"),
             TraceShape::Oscillating { steps, dwell_s } => format!("osc:{steps}x{dwell_s}"),
+            TraceShape::Replay(r) => format!("replay:{}", r.path),
         }
+    }
+
+    /// An unresolved replay shape over the trace file at `path`.
+    pub fn replay(path: &str) -> Self {
+        TraceShape::Replay(ReplayTrace {
+            path: path.to_string(),
+            digest: String::new(),
+            samples: Vec::new(),
+        })
     }
 
     /// Parses a canonical label back into a shape — the exact inverse
@@ -80,21 +187,105 @@ impl TraceShape {
                 .ok_or_else(|| bad(format!("trace shape {label:?}: bad dwell {dwell:?}")))?;
             return Ok(TraceShape::Oscillating { steps, dwell_s });
         }
+        if let Some(path) = label.strip_prefix("replay:") {
+            if path.is_empty() {
+                return Err(bad(format!("trace shape {label:?}: empty trace path")));
+            }
+            return Ok(TraceShape::replay(path));
+        }
         Err(bad(format!(
             "unknown trace shape {label:?}: expected `constant`, `square:<period_s>`, \
-             or `osc:<steps>x<dwell_s>`"
+             `osc:<steps>x<dwell_s>`, or `replay:<path>`"
         )))
+    }
+
+    /// Validates shape parameters — the same constraints
+    /// [`TraceShape::parse`] enforces, for programmatically built
+    /// specs (a zero oscillation dwell or negative square period must
+    /// surface as a typed error from spec validation, not a
+    /// mid-expansion panic). Replay shapes only need a nonempty path
+    /// here; [`TraceShape::resolved`] does the file-level checks.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let invalid = |reason: String| SpecError::InvalidSpec { reason };
+        match self {
+            TraceShape::Constant => Ok(()),
+            TraceShape::Square { period_s } => {
+                if !period_s.is_finite() || *period_s <= 0.0 {
+                    return Err(invalid(format!(
+                        "trace shape square: period {period_s} must be finite and > 0"
+                    )));
+                }
+                Ok(())
+            }
+            TraceShape::Oscillating { steps, dwell_s } => {
+                if *steps == 0 {
+                    return Err(invalid("trace shape osc: step count must be >= 1".into()));
+                }
+                if !dwell_s.is_finite() || *dwell_s <= 0.0 {
+                    return Err(invalid(format!(
+                        "trace shape osc: dwell {dwell_s} must be finite and > 0"
+                    )));
+                }
+                Ok(())
+            }
+            TraceShape::Replay(r) => {
+                if r.path.is_empty() {
+                    return Err(invalid("replay trace path must be nonempty".into()));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns a copy with any replay trace file loaded, digested, and
+    /// validated; non-replay shapes come back unchanged. Failures are
+    /// typed: a missing file is [`SpecError::Io`], malformed JSON is
+    /// [`SpecError::Json`], bad samples are [`SpecError::InvalidSpec`]
+    /// — never a panic, so spec validation can report them.
+    pub fn resolved(&self) -> Result<TraceShape, SpecError> {
+        match self {
+            TraceShape::Replay(r) => Ok(TraceShape::Replay(r.resolve()?)),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// The content digest of a resolved replay shape (what cache keys
+    /// include so edited trace files invalidate their cached cells);
+    /// `None` for generator shapes and unresolved replays.
+    pub fn trace_digest(&self) -> Option<&str> {
+        match self {
+            TraceShape::Replay(r) if !r.digest.is_empty() => Some(&r.digest),
+            _ => None,
+        }
     }
 
     fn build(&self, peak_bps: f64, dur_s: u64) -> BandwidthTrace {
         let total = dur_s as f64;
-        match *self {
+        match self {
             TraceShape::Constant => BandwidthTrace::constant(peak_bps),
             TraceShape::Square { period_s } => {
-                BandwidthTrace::square_wave(0.5 * peak_bps, peak_bps, period_s, total)
+                BandwidthTrace::square_wave(0.5 * peak_bps, peak_bps, *period_s, total)
             }
             TraceShape::Oscillating { steps, dwell_s } => {
-                BandwidthTrace::oscillating(0.5 * peak_bps, peak_bps, steps, dwell_s, total)
+                BandwidthTrace::oscillating(0.5 * peak_bps, peak_bps, *steps, *dwell_s, total)
+            }
+            TraceShape::Replay(r) => {
+                assert!(
+                    !r.samples.is_empty(),
+                    "replay trace {:?} not resolved (spec not validated?)",
+                    r.path
+                );
+                let peak_mbps = r
+                    .samples
+                    .iter()
+                    .map(|&(_, m)| m)
+                    .fold(r.samples[0].1, f64::max);
+                let steps: Vec<(f64, f64)> = r
+                    .samples
+                    .iter()
+                    .map(|&(t, m)| (t, m / peak_mbps * peak_bps))
+                    .collect();
+                BandwidthTrace::from_samples(&steps).expect("resolved replay samples are valid")
             }
         }
     }
@@ -127,6 +318,11 @@ pub enum FlowLoad {
     /// windows, each producing at half the cell bandwidth divided by
     /// the number of cross flows.
     OnOffCross(usize),
+    /// One greedy flow under test plus `n` closed-loop request-response
+    /// RPC cross flows (the datacenter pattern). Cross flow `i` starts
+    /// at `0.5 × (i + 1)` seconds, issuing 256 KiB requests with
+    /// 250 ms of think time after each completed request.
+    RpcCross(usize),
 }
 
 impl FlowLoad {
@@ -135,6 +331,7 @@ impl FlowLoad {
         match self {
             FlowLoad::Steady(n) => format!("steady:{n}"),
             FlowLoad::OnOffCross(n) => format!("onoff:{n}"),
+            FlowLoad::RpcCross(n) => format!("rpc:{n}"),
         }
     }
 
@@ -142,13 +339,18 @@ impl FlowLoad {
     /// of [`FlowLoad::label`], used by spec files.
     pub fn parse(label: &str) -> Result<Self, SpecError> {
         let bad = || SpecError::InvalidSpec {
-            reason: format!("unknown flow load {label:?}: expected `steady:<n>` or `onoff:<n>`"),
+            reason: format!(
+                "unknown flow load {label:?}: expected `steady:<n>`, `onoff:<n>`, or `rpc:<n>`"
+            ),
         };
         if let Some(n) = label.strip_prefix("steady:") {
             return n.parse().map(FlowLoad::Steady).map_err(|_| bad());
         }
         if let Some(n) = label.strip_prefix("onoff:") {
             return n.parse().map(FlowLoad::OnOffCross).map_err(|_| bad());
+        }
+        if let Some(n) = label.strip_prefix("rpc:") {
+            return n.parse().map(FlowLoad::RpcCross).map_err(|_| bad());
         }
         Err(bad())
     }
@@ -158,6 +360,7 @@ impl FlowLoad {
         match *self {
             FlowLoad::Steady(n) => n.max(1),
             FlowLoad::OnOffCross(n) => n + 1,
+            FlowLoad::RpcCross(n) => n + 1,
         }
     }
 
@@ -169,6 +372,13 @@ impl FlowLoad {
                 let rate = 0.5 * peak_bps / n.max(1) as f64;
                 for i in 0..n {
                     flows.push(FlowSpec::on_off_cross((i + 1) as f64, 2.0, 2.0, rate));
+                }
+                flows
+            }
+            FlowLoad::RpcCross(n) => {
+                let mut flows = vec![FlowSpec::default()];
+                for i in 0..n {
+                    flows.push(FlowSpec::rpc_cross(0.5 * (i + 1) as f64, 256 * 1024, 0.25));
                 }
                 flows
             }
@@ -310,7 +520,7 @@ impl SweepSpec {
             for &owd in &self.owd_ms {
                 for &queue in &self.queue_pkts {
                     for &loss in &self.loss {
-                        for &shape in &self.shapes {
+                        for shape in &self.shapes {
                             for &load in &self.loads {
                                 let peak = bw * 1e6;
                                 let link = LinkSpec {
@@ -339,7 +549,7 @@ impl SweepSpec {
                                     owd_ms: owd,
                                     queue_pkts: queue,
                                     loss,
-                                    shape,
+                                    shape: shape.clone(),
                                     load,
                                     scenario,
                                 });
@@ -368,6 +578,7 @@ pub fn cell_seed(base: u64, index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mocc_netsim::time::SimTime;
     use mocc_netsim::AppPattern;
 
     #[test]
@@ -435,6 +646,11 @@ mod tests {
         );
         assert_eq!(FlowLoad::Steady(3).label(), "steady:3");
         assert_eq!(FlowLoad::OnOffCross(1).label(), "onoff:1");
+        assert_eq!(FlowLoad::RpcCross(2).label(), "rpc:2");
+        assert_eq!(
+            TraceShape::replay("examples/traces/lte_drive.json").label(),
+            "replay:examples/traces/lte_drive.json"
+        );
     }
 
     #[test]
@@ -446,10 +662,15 @@ mod tests {
                 steps: 4,
                 dwell_s: 2.0,
             },
+            TraceShape::replay("examples/traces/lte_drive.json"),
         ] {
             assert_eq!(TraceShape::parse(&shape.label()).unwrap(), shape);
         }
-        for load in [FlowLoad::Steady(3), FlowLoad::OnOffCross(2)] {
+        for load in [
+            FlowLoad::Steady(3),
+            FlowLoad::OnOffCross(2),
+            FlowLoad::RpcCross(4),
+        ] {
             assert_eq!(FlowLoad::parse(&load.label()).unwrap(), load);
         }
         for bad in [
@@ -460,11 +681,126 @@ mod tests {
             "square:x",
             "steady:",
             "onoff:x",
+            "rpc:",
+            "rpc:x",
+            "replay:",
             "ramp:3",
         ] {
             assert!(TraceShape::parse(bad).is_err(), "{bad:?}");
             assert!(FlowLoad::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn shape_validate_catches_bad_parameters() {
+        for bad in [
+            TraceShape::Square { period_s: 0.0 },
+            TraceShape::Square { period_s: f64::NAN },
+            TraceShape::Oscillating {
+                steps: 0,
+                dwell_s: 2.0,
+            },
+            TraceShape::Oscillating {
+                steps: 4,
+                dwell_s: -1.0,
+            },
+            TraceShape::replay(""),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        assert!(TraceShape::Constant.validate().is_ok());
+        assert!(TraceShape::replay("some/file.json").validate().is_ok());
+    }
+
+    #[test]
+    fn rpc_load_builds_cross_flows() {
+        let mut spec = SweepSpec::single_cell();
+        spec.loads = vec![FlowLoad::RpcCross(2)];
+        let cells = spec.expand();
+        let flows = &cells[0].scenario.flows;
+        assert_eq!(flows.len(), 3);
+        assert!(matches!(flows[0].app, AppPattern::Greedy));
+        assert!(matches!(flows[1].app, AppPattern::Rpc { .. }));
+        assert!(flows[2].start > flows[1].start, "cross flows staggered");
+    }
+
+    fn temp_trace_file(body: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mocc-spec-test-{}-{}.json",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn replay_shape_resolves_and_normalizes_to_the_cell_peak() {
+        let path = temp_trace_file(
+            r#"{"description":"test","samples":[[0.0, 4.0],[2.0, 8.0],[5.0, 2.0]]}"#,
+        );
+        let shape = TraceShape::replay(path.to_str().unwrap());
+        assert!(shape.trace_digest().is_none(), "unresolved: no digest");
+        let resolved = shape.resolved().unwrap();
+        let digest = resolved
+            .trace_digest()
+            .expect("resolved digest")
+            .to_string();
+        assert_eq!(digest.len(), 64);
+        // Resolution is derived state: spec identity is unchanged.
+        assert_eq!(resolved, shape);
+
+        // Expanding a spec whose shapes are resolved normalizes the
+        // recording so its 8 Mbps peak equals the cell bandwidth.
+        let mut spec = SweepSpec::single_cell(); // 10 Mbps cell
+        spec.shapes = vec![resolved];
+        let cells = spec.expand();
+        let trace = &cells[0].scenario.link.trace;
+        assert!((trace.max_rate() - 10e6).abs() < 1e-6);
+        assert!((trace.rate_at(SimTime::ZERO) - 5e6).abs() < 1e-6);
+        assert!((trace.rate_at(SimTime::from_secs(3)) - 10e6).abs() < 1e-6);
+        assert!((trace.rate_at(SimTime::from_secs(9)) - 2.5e6).abs() < 1e-6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_resolution_failures_are_typed_errors() {
+        use crate::scheme::SpecError;
+        let missing = TraceShape::replay("/nonexistent/trace.json");
+        assert!(matches!(missing.resolved(), Err(SpecError::Io { .. })));
+
+        let not_json = temp_trace_file("not json");
+        let err = TraceShape::replay(not_json.to_str().unwrap()).resolved();
+        assert!(matches!(err, Err(SpecError::Json { .. })), "{err:?}");
+        std::fs::remove_file(&not_json).ok();
+
+        for (body, what) in [
+            (r#"{"samples":[]}"#, "empty samples"),
+            (r#"{"samples":[[0.0,5.0],[0.0,6.0]]}"#, "non-monotone times"),
+            (r#"{"samples":[[0.0,0.0]]}"#, "zero rate"),
+            (r#"{"samples":[[0.0,5.0]],"smaples":1}"#, "unknown field"),
+            (r#"{"samples":[[0.0]]}"#, "short row"),
+            (r#"{"samples":"x"}"#, "samples not an array"),
+            (r#"[]"#, "not an object"),
+        ] {
+            let path = temp_trace_file(body);
+            let err = TraceShape::replay(path.to_str().unwrap()).resolved();
+            assert!(
+                matches!(err, Err(SpecError::InvalidSpec { .. })),
+                "{what}: {err:?}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spec not validated")]
+    fn unresolved_replay_panics_at_expansion_with_a_hint() {
+        let mut spec = SweepSpec::single_cell();
+        spec.shapes = vec![TraceShape::replay("examples/traces/lte_drive.json")];
+        spec.expand();
     }
 
     #[test]

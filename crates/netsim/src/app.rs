@@ -189,6 +189,88 @@ impl AppSource for OnOffSource {
     }
 }
 
+/// A request-response RPC source: the application writes a
+/// `request_bytes`-sized message, waits until every byte of it has been
+/// delivered, *thinks* for `think`, then issues the next request. This
+/// is the classic closed-loop datacenter pattern — offered load is
+/// gated by completion, so an RPC flow probes the path in bursts
+/// instead of saturating it.
+///
+/// The source is reliable: bytes reported lost re-enter the backlog and
+/// are taken (retransmitted) again, and the think timer only starts
+/// once the full request has actually been delivered.
+#[derive(Debug, Clone)]
+pub struct RpcSource {
+    request_bytes: u64,
+    think: crate::time::SimDuration,
+    backlog: u64,
+    in_flight: u64,
+    thinking_until: Option<SimTime>,
+}
+
+impl RpcSource {
+    /// Creates an RPC source with the first request ready at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_bytes` is zero (the flow would never send).
+    pub fn new(request_bytes: u64, think: crate::time::SimDuration) -> Self {
+        assert!(request_bytes > 0, "rpc source needs a nonzero request");
+        RpcSource {
+            request_bytes,
+            think,
+            backlog: request_bytes,
+            in_flight: 0,
+            thinking_until: None,
+        }
+    }
+
+    /// Bytes of the current request still waiting to be sent.
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    fn maybe_finish_think(&mut self, now: SimTime) {
+        if let Some(t) = self.thinking_until {
+            if t <= now {
+                self.thinking_until = None;
+                self.backlog = self.request_bytes;
+            }
+        }
+    }
+
+    fn maybe_start_think(&mut self, now: SimTime) {
+        if self.backlog == 0 && self.in_flight == 0 && self.thinking_until.is_none() {
+            self.thinking_until = Some(now + self.think);
+        }
+    }
+}
+
+impl AppSource for RpcSource {
+    fn take(&mut self, now: SimTime, max_bytes: u64) -> u64 {
+        self.maybe_finish_think(now);
+        let granted = self.backlog.min(max_bytes);
+        self.backlog -= granted;
+        self.in_flight += granted;
+        granted
+    }
+
+    fn on_delivered(&mut self, now: SimTime, bytes: u64) {
+        self.in_flight = self.in_flight.saturating_sub(bytes);
+        self.maybe_start_think(now);
+    }
+
+    fn on_lost(&mut self, _now: SimTime, bytes: u64) {
+        // Reliable: lost request bytes go back on the send queue.
+        self.in_flight = self.in_flight.saturating_sub(bytes);
+        self.backlog += bytes;
+    }
+
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        self.thinking_until
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +341,45 @@ mod tests {
         // 1 Mbps).
         let w = s.next_wakeup(SimTime::ZERO).unwrap();
         assert_eq!(w, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn rpc_cycles_request_think_request() {
+        let mut s = RpcSource::new(1000, SimDuration::from_millis(100));
+        // First request is available immediately, possibly in pieces.
+        assert_eq!(s.take(SimTime::ZERO, 600), 600);
+        assert_eq!(s.take(SimTime::ZERO, 600), 400);
+        assert_eq!(s.take(SimTime::from_millis(1), 600), 0);
+        // Partial delivery: still waiting on the rest, no think yet.
+        s.on_delivered(SimTime::from_millis(5), 600);
+        assert_eq!(s.next_wakeup(SimTime::from_millis(5)), None);
+        // Full delivery starts the think timer.
+        s.on_delivered(SimTime::from_millis(10), 400);
+        assert_eq!(
+            s.next_wakeup(SimTime::from_millis(10)),
+            Some(SimTime::from_millis(110))
+        );
+        // Nothing to send while thinking…
+        assert_eq!(s.take(SimTime::from_millis(50), 600), 0);
+        // …and the next request materialises once the think elapses.
+        assert_eq!(s.take(SimTime::from_millis(110), 2000), 1000);
+    }
+
+    #[test]
+    fn rpc_resupplies_lost_bytes() {
+        let mut s = RpcSource::new(1000, SimDuration::from_millis(100));
+        assert_eq!(s.take(SimTime::ZERO, 2000), 1000);
+        s.on_lost(SimTime::from_millis(3), 300);
+        // The lost chunk is back on the queue; the request is not
+        // complete until every byte is delivered.
+        assert_eq!(s.take(SimTime::from_millis(4), 2000), 300);
+        s.on_delivered(SimTime::from_millis(8), 700);
+        assert_eq!(s.next_wakeup(SimTime::from_millis(8)), None);
+        s.on_delivered(SimTime::from_millis(9), 300);
+        assert_eq!(
+            s.next_wakeup(SimTime::from_millis(9)),
+            Some(SimTime::from_millis(109))
+        );
     }
 
     #[test]

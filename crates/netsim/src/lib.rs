@@ -32,7 +32,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
-pub use app::{AppSource, GreedySource, OnOffSource, PeriodicSource};
+pub use app::{AppSource, GreedySource, OnOffSource, PeriodicSource, RpcSource};
 pub use cc::{
     AckInfo, CongestionControl, LossInfo, LossKind, MonitorStats, RateControl, SenderView,
 };

@@ -104,6 +104,15 @@ pub enum AppPattern {
         /// Production rate during ON windows, bits per second.
         rate_bps: f64,
     },
+    /// Closed-loop request-response RPC traffic: a `request_bytes`
+    /// message, a `think` pause after it is fully delivered, then the
+    /// next request (a datacenter-style workload).
+    Rpc {
+        /// Bytes per request (must be nonzero).
+        request_bytes: u64,
+        /// Think time between a completed request and the next one.
+        think: SimDuration,
+    },
 }
 
 /// Description of one flow.
@@ -168,6 +177,20 @@ impl FlowSpec {
                 on: SimDuration::from_secs_f64(on_s),
                 off: SimDuration::from_secs_f64(off_s),
                 rate_bps,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// A closed-loop RPC cross flow starting at `start_s` seconds,
+    /// issuing `request_bytes` requests with `think_s` seconds of think
+    /// time between completions.
+    pub fn rpc_cross(start_s: f64, request_bytes: u64, think_s: f64) -> Self {
+        FlowSpec {
+            start: SimTime::from_secs_f64(start_s),
+            app: AppPattern::Rpc {
+                request_bytes,
+                think: SimDuration::from_secs_f64(think_s),
             },
             ..Default::default()
         }

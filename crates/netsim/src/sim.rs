@@ -15,7 +15,7 @@
 //!   agent (the RL training loop) at each monitor interval of a chosen
 //!   flow, which then sets the next rate with [`Simulator::set_rate`].
 
-use crate::app::{AppSource, GreedySource, OnOffSource, PeriodicSource};
+use crate::app::{AppSource, GreedySource, OnOffSource, PeriodicSource, RpcSource};
 use crate::cc::{
     AckInfo, CongestionControl, LossInfo, LossKind, MonitorStats, RateControl, SenderView,
 };
@@ -356,6 +356,10 @@ impl FlowState {
                 // must not open with a burst of pre-start production.
                 Box::new(OnOffSource::new(on, off, rate_bps).starting_at(spec.start))
             }
+            crate::scenario::AppPattern::Rpc {
+                request_bytes,
+                think,
+            } => Box::new(RpcSource::new(request_bytes, think)),
         };
         let greedy = matches!(spec.app, crate::scenario::AppPattern::Greedy);
         FlowState {

@@ -20,7 +20,16 @@ pub struct BandwidthTrace {
 
 impl BandwidthTrace {
     /// A constant-rate trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_bps` is finite and strictly positive (see
+    /// [`BandwidthTrace::from_steps`]).
     pub fn constant(rate_bps: f64) -> Self {
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "bandwidth trace rates must be finite and > 0 (got {rate_bps})"
+        );
         BandwidthTrace {
             steps: vec![(SimTime::ZERO, rate_bps)],
         }
@@ -29,18 +38,77 @@ impl BandwidthTrace {
     /// Builds a trace from explicit `(start, rate)` steps.
     ///
     /// Steps are sorted by start time; a step at time zero is prepended
-    /// (duplicating the first rate) if missing so that the trace is total.
+    /// (duplicating the first rate) if missing so that the trace is
+    /// total. This **zero-prepend contract** is what downstream
+    /// consumers rely on: [`BandwidthTrace::rate_at`] and
+    /// [`BandwidthTrace::mean_rate`] never see a gap before the first
+    /// step, so a recorded trace whose first sample starts after
+    /// `t = 0` cannot under-report the mean-rate (utilization)
+    /// denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, or if any rate is non-finite or not
+    /// strictly positive — a NaN rate would poison
+    /// [`BandwidthTrace::max_rate`] and a zero rate would make the
+    /// utilization denominator meaningless, so both are rejected at
+    /// construction. Spec-driven paths reject these as typed errors
+    /// before a trace is ever built.
     pub fn from_steps(mut steps: Vec<(SimTime, f64)>) -> Self {
         assert!(
             !steps.is_empty(),
             "a bandwidth trace needs at least one step"
         );
+        for &(t, rate) in &steps {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "bandwidth trace rates must be finite and > 0 (got {rate} at {t:?})"
+            );
+        }
         steps.sort_by_key(|&(t, _)| t);
         if steps[0].0 != SimTime::ZERO {
             let first_rate = steps[0].1;
             steps.insert(0, (SimTime::ZERO, first_rate));
         }
         BandwidthTrace { steps }
+    }
+
+    /// Builds a trace from recorded `(time_s, rate_bps)` samples — the
+    /// replay entry point for trace files. Unlike the generator
+    /// constructors this is total: every malformed input comes back as
+    /// a typed error instead of a panic, so spec validation can report
+    /// bad trace files to the user.
+    ///
+    /// Requirements: at least one sample; times finite, non-negative,
+    /// and strictly increasing; rates finite and strictly positive.
+    /// The first sample's rate extends back to `t = 0` (the
+    /// [`BandwidthTrace::from_steps`] zero-prepend contract) and the
+    /// last sample's rate holds forever past the end of the recording.
+    pub fn from_samples(samples: &[(f64, f64)]) -> Result<Self, String> {
+        if samples.is_empty() {
+            return Err("a replay trace needs at least one sample".to_string());
+        }
+        let mut steps = Vec::with_capacity(samples.len());
+        let mut prev_t = f64::NEG_INFINITY;
+        for (i, &(t, rate)) in samples.iter().enumerate() {
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!(
+                    "sample {i}: time {t} must be finite and >= 0 seconds"
+                ));
+            }
+            if t <= prev_t {
+                return Err(format!(
+                    "sample {i}: time {t} does not increase (previous sample at {prev_t}); \
+                     sample times must be strictly increasing"
+                ));
+            }
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(format!("sample {i}: rate {rate} must be finite and > 0"));
+            }
+            prev_t = t;
+            steps.push((SimTime::from_secs_f64(t), rate));
+        }
+        Ok(BandwidthTrace::from_steps(steps))
     }
 
     /// A square wave alternating between `low_bps` and `high_bps`, holding
@@ -108,6 +176,12 @@ impl BandwidthTrace {
     /// A random-walk trace: every `step_s` seconds the rate moves to a
     /// uniform sample in `[lo_bps, hi_bps]`. Used to generate varied
     /// training conditions (Table 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_s` is not strictly positive — the generator
+    /// loop advances by `step_s` per iteration, so a zero or negative
+    /// step would never terminate.
     pub fn random_walk<R: Rng>(
         rng: &mut R,
         lo_bps: f64,
@@ -115,6 +189,7 @@ impl BandwidthTrace {
         step_s: f64,
         total_s: f64,
     ) -> Self {
+        assert!(step_s > 0.0, "random walk needs a positive step");
         let mut steps = Vec::new();
         let mut t = 0.0;
         while t < total_s {
@@ -156,8 +231,18 @@ impl BandwidthTrace {
     }
 
     /// Maximum rate over all steps (used for capacity normalization).
+    ///
+    /// Folding from the first step (never from a `0.0` sentinel) is
+    /// sound because construction guarantees a non-empty step list with
+    /// finite, strictly positive rates — the old
+    /// `fold(0.0, f64::max)` silently returned `0.0` for degenerate
+    /// step sets (`f64::max` discards NaN operands), which zeroed
+    /// BDP and utilization denominators downstream.
     pub fn max_rate(&self) -> f64 {
-        self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+        self.steps
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(self.steps[0].1, f64::max)
     }
 
     /// The trace steps, for inspection and plotting.
@@ -190,10 +275,75 @@ mod tests {
         assert!((mean - 25e6).abs() < 1e3, "mean {mean}");
     }
 
+    /// The zero-prepend contract: a trace whose first step starts
+    /// after t = 0 extends that first rate back to t = 0, so both the
+    /// point lookup and the duration-weighted mean see no dead air
+    /// before the recording begins. Replay traces rely on this —
+    /// without the prepend, `mean_rate` would under-count the
+    /// utilization denominator by the missing prefix.
     #[test]
     fn from_steps_prepends_zero() {
         let tr = BandwidthTrace::from_steps(vec![(SimTime::from_secs(5), 7e6)]);
         assert_eq!(tr.rate_at(SimTime::ZERO), 7e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs_f64(2.5)), 7e6);
+        assert_eq!(tr.mean_rate(SimTime::from_secs(4)), 7e6);
+        assert_eq!(tr.mean_rate(SimTime::from_secs(20)), 7e6);
+        // A two-step late-starting trace: [0, 10) holds the first
+        // sample's rate, [10, 20) the second's.
+        let tr = BandwidthTrace::from_steps(vec![
+            (SimTime::from_secs(4), 8e6),
+            (SimTime::from_secs(10), 2e6),
+        ]);
+        assert_eq!(tr.rate_at(SimTime::from_secs(1)), 8e6);
+        let mean = tr.mean_rate(SimTime::from_secs(20));
+        assert!((mean - 5e6).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn from_samples_replays_recordings() {
+        let tr = BandwidthTrace::from_samples(&[(0.5, 3e6), (1.5, 9e6), (4.0, 6e6)]).unwrap();
+        // First rate extends back to zero; last rate holds forever.
+        assert_eq!(tr.rate_at(SimTime::ZERO), 3e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs_f64(2.0)), 9e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs(100)), 6e6);
+        assert_eq!(tr.max_rate(), 9e6);
+    }
+
+    #[test]
+    fn from_samples_rejects_malformed_recordings() {
+        for (samples, needle) in [
+            (vec![], "at least one sample"),
+            (vec![(0.0, 1e6), (0.0, 2e6)], "strictly increasing"),
+            (vec![(1.0, 1e6), (0.5, 2e6)], "strictly increasing"),
+            (vec![(-1.0, 1e6)], "finite and >= 0"),
+            (vec![(f64::NAN, 1e6)], "finite and >= 0"),
+            (vec![(0.0, 0.0)], "finite and > 0"),
+            (vec![(0.0, -2e6)], "finite and > 0"),
+            (vec![(0.0, f64::NAN)], "finite and > 0"),
+            (vec![(0.0, f64::INFINITY)], "finite and > 0"),
+        ] {
+            let err = BandwidthTrace::from_samples(&samples).unwrap_err();
+            assert!(err.contains(needle), "{samples:?}: {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn from_steps_rejects_nan_rates() {
+        let _ = BandwidthTrace::from_steps(vec![(SimTime::ZERO, f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn constant_rejects_zero_rate() {
+        let _ = BandwidthTrace::constant(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive step")]
+    fn random_walk_rejects_zero_step() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = BandwidthTrace::random_walk(&mut rng, 1e6, 5e6, 0.0, 30.0);
     }
 
     #[test]

@@ -56,6 +56,39 @@ fn golden_spec() -> SweepSpec {
     }
 }
 
+/// The frozen replay golden: CUBIC over two recorded cellular traces
+/// (LTE drive, 5G mmWave blockage) crossed with a greedy flow and an
+/// RPC request-response load — 8 cells. Trace paths are relative to
+/// the workspace root, where root-package tests run. Do not edit
+/// without regenerating the fixture; editing the trace *files*
+/// changes their content digests (and so the cache keys) but the
+/// golden bytes only through the simulated rates.
+fn golden_replay_spec() -> SweepSpec {
+    SweepSpec {
+        bandwidth_mbps: vec![12.0],
+        owd_ms: vec![20, 60],
+        queue_pkts: vec![200],
+        loss: vec![0.0],
+        shapes: vec![
+            TraceShape::replay("examples/traces/lte_drive.json"),
+            TraceShape::replay("examples/traces/nr5g_blockage.json"),
+        ],
+        loads: vec![FlowLoad::Steady(1), FlowLoad::RpcCross(1)],
+        duration_s: 8,
+        mss_bytes: 1500,
+        seed: 42,
+        agent_mi: true,
+    }
+}
+
+fn golden_replay_experiment() -> ExperimentSpec {
+    ExperimentSpec::from_sweep(
+        "replay",
+        SchemeSpec::parse("cubic").expect("cubic parses"),
+        &golden_replay_spec(),
+    )
+}
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
@@ -290,6 +323,30 @@ fn golden_fixtures_byte_identical_via_batched_runner() {
     }
 }
 
+/// Golden replay fixture: recorded-trace cells reproduce
+/// `golden_replay.json` byte for byte, through the spec-driven path.
+/// The `sweep-regression` CI job runs this at 1 thread and at the
+/// default worker count.
+#[test]
+fn golden_replay() {
+    let path = fixture_path("replay");
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}; generate it with \
+             `cargo test --test golden_sweep -- --ignored regen_golden`",
+            path.display()
+        )
+    });
+    let got = run_experiment(&SweepRunner::auto(), &golden_replay_experiment())
+        .expect("valid golden replay experiment");
+    assert_eq!(
+        got.to_canonical_json(),
+        fixture,
+        "replay sweep drifted from the golden fixture; if intentional, \
+         regenerate with `cargo test --test golden_sweep -- --ignored regen_golden`"
+    );
+}
+
 /// Golden competition fixtures: the frozen contender-mix matrix must
 /// reproduce `golden_competition_baselines.json` byte for byte. The
 /// `sweep-regression` CI job runs this at 1 thread and at the default
@@ -423,6 +480,7 @@ fn example_spec_files_reproduce_the_goldens() {
     for (spec_file, fixture) in [
         ("sweep_cubic", "cubic"),
         ("competition_mocc", "competition_mocc"),
+        ("sweep_replay", "replay"),
     ] {
         let path = example_spec_path(spec_file);
         let exp = ExperimentSpec::load(&path).unwrap_or_else(|e| {
@@ -456,6 +514,7 @@ fn cached_example_specs_reproduce_goldens_with_zero_cells_simulated() {
     for (spec_file, fixture) in [
         ("sweep_cubic", "cubic"),
         ("competition_mocc", "competition_mocc"),
+        ("sweep_replay", "replay"),
     ] {
         let exp = ExperimentSpec::load(&example_spec_path(spec_file)).expect("spec loads");
         let want = std::fs::read_to_string(fixture_path(fixture)).expect("fixture present");
@@ -525,6 +584,12 @@ fn regen_golden() {
         golden_competition_mocc_experiment(),
         mocc.to_canonical_json(),
     ));
+    let replay = run_experiment(&runner, &golden_replay_experiment()).expect("valid");
+    regenerated.push((
+        fixture_path("replay"),
+        golden_replay_experiment(),
+        replay.to_canonical_json(),
+    ));
     let cross_dir =
         std::env::temp_dir().join(format!("mocc-regen-crosscheck-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cross_dir);
@@ -559,6 +624,7 @@ fn regen_golden() {
     for (file, exp) in [
         ("sweep_cubic", golden_experiment("cubic")),
         ("competition_mocc", golden_competition_mocc_experiment()),
+        ("sweep_replay", golden_replay_experiment()),
     ] {
         let path = example_spec_path(file);
         std::fs::write(&path, exp.to_canonical_json()).expect("write spec file");

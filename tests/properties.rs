@@ -1,13 +1,13 @@
 //! Property-based integration tests over the workspace invariants.
 
-use mocc::core::{landmark_count, landmarks, Preference, TrainRegime, TrainSpec};
+use mocc::core::{landmark_count, landmarks, run_experiment, Preference, TrainRegime, TrainSpec};
 use mocc::eval::{
     BaselineContenders, CompetitionSpec, ContenderMix, ExperimentSpec, FlowLoad, PolicySpec,
     SchemeRegistry, SchemeSpec, SweepCell, SweepRunner, SweepSpec, TraceShape,
 };
 use mocc::netsim::cc::{Aimd, CongestionControl, FixedRate};
 use mocc::netsim::metrics::jain_index;
-use mocc::netsim::{FlowSpec, Scenario, Simulator};
+use mocc::netsim::{BandwidthTrace, FlowSpec, Scenario, Simulator};
 use mocc::nn::{Activation, ForwardTier, Matrix, Mlp, MlpScratch};
 use mocc::rl::{GaussianPolicy, PolicyScratch};
 use proptest::prelude::*;
@@ -273,6 +273,86 @@ proptest! {
             .run_competition_factory(&spec, "mix", &BaselineContenders);
         let parallel = SweepRunner::with_threads(3)
             .run_competition_factory(&spec, "mix", &BaselineContenders);
+        prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
+    }
+
+    /// Replay traces preserve the simulator's conservation law: for
+    /// any recorded sample sequence (arbitrary gaps and rate swings,
+    /// including traces whose first sample is after t = 0) every sent
+    /// packet is acknowledged, lost, or still in flight at the
+    /// horizon.
+    #[test]
+    fn replay_cells_conserve_packets(
+        deltas in proptest::collection::vec((0.1f64..4.0, 0.5f64..40.0), 1..16),
+        first_t in 0.0f64..3.0,
+        owd_ms in 5u64..80,
+        queue in 20usize..1000,
+        loss in 0.0f64..0.1,
+        rate_mbps in 0.5f64..60.0,
+    ) {
+        let mut t = first_t;
+        let mut samples = Vec::new();
+        for &(dt, mbps) in &deltas {
+            samples.push((t, mbps * 1e6));
+            t += dt;
+        }
+        let trace = BandwidthTrace::from_samples(&samples).expect("generated samples are valid");
+        let mut sc = Scenario::single(trace.max_rate(), owd_ms, queue, loss, 10);
+        sc.link.trace = trace;
+        let res = Simulator::new(sc, vec![Box::new(FixedRate::new(rate_mbps * 1e6))]).run();
+        let f = &res.flows[0];
+        prop_assert_eq!(f.total_acked + f.total_lost + f.pkts_in_flight, f.total_sent);
+        prop_assert!(f.loss_rate >= 0.0 && f.loss_rate <= 1.0);
+        prop_assert!(f.throughput_bps.is_finite());
+    }
+
+    /// Replay cells keep the canonical-report determinism contract: a
+    /// spec over a recorded trace file produces byte-identical reports
+    /// across worker-thread counts and policy batch sizes — the same
+    /// guarantee the golden replay fixture pins for the committed
+    /// corpus, here over randomized traces.
+    #[test]
+    fn replay_reports_identical_across_threads_and_batches(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        let mut t = 0.0f64;
+        for _ in 0..rng.gen_range(2usize..12) {
+            samples.push(format!("[{:.3},{:.3}]", t, rng.gen_range(0.5f64..30.0)));
+            t += rng.gen_range(0.25f64..3.0);
+        }
+        let path = std::env::temp_dir().join(format!(
+            "mocc-prop-replay-{}-{seed}.json",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            format!("{{\"samples\":[{}]}}", samples.join(",")),
+        )
+        .expect("write temp trace");
+        let matrix = SweepSpec {
+            bandwidth_mbps: vec![rng.gen_range(2.0f64..20.0)],
+            owd_ms: vec![rng.gen_range(5u64..60)],
+            queue_pkts: vec![rng.gen_range(20usize..500)],
+            loss: vec![0.0],
+            shapes: vec![TraceShape::replay(path.to_str().expect("utf-8 temp path"))],
+            loads: vec![FlowLoad::Steady(1), FlowLoad::RpcCross(1)],
+            duration_s: 4,
+            mss_bytes: 1500,
+            seed: rng.gen(),
+            agent_mi: true,
+        };
+        let mut exp = ExperimentSpec::from_sweep(
+            "prop-replay",
+            SchemeSpec::parse("mocc").expect("mocc parses"),
+            &matrix,
+        );
+        exp.policy = Some(PolicySpec { batch: 1, ..PolicySpec::default() });
+        let serial =
+            run_experiment(&SweepRunner::with_threads(1), &exp).expect("replay spec runs");
+        exp.policy = Some(PolicySpec { batch: 8, ..PolicySpec::default() });
+        let parallel =
+            run_experiment(&SweepRunner::with_threads(3), &exp).expect("replay spec runs");
+        std::fs::remove_file(&path).ok();
         prop_assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
     }
 
