@@ -25,6 +25,8 @@
 //! assert!(handle.stats().completed);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bulk;
 pub mod rtc;
 pub mod video;

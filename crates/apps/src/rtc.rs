@@ -103,7 +103,7 @@ impl RtcHandle {
         } else {
             gaps_ms.iter().sum::<f64>() / gaps_ms.len() as f64
         };
-        gaps_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        gaps_ms.sort_by(f64::total_cmp);
         let p95 = if gaps_ms.is_empty() {
             0.0
         } else {

@@ -1,0 +1,404 @@
+//! A hand-rolled Rust lexer — just enough structure for the audit
+//! rules: identifiers, punctuation, and literals with line numbers,
+//! plus the comment stream (rules need comments for `// SAFETY:` and
+//! `// audit:allow(...)` adjacency checks).
+//!
+//! The lexer is deliberately forgiving: it never fails, and source it
+//! cannot make sense of degrades to punctuation tokens. What it must
+//! get right — and what the unit tests pin — is that comments, string
+//! literals, char literals, and lifetimes are *excluded* from the
+//! token stream, so a rule can match `HashMap` or `Instant :: now`
+//! without tripping on prose, doc examples, or `"HashMap"` strings.
+
+/// One source token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token payloads. Only the shapes the rules inspect are
+/// distinguished; everything else is punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fold`, ...).
+    Ident(String),
+    /// A numeric literal, verbatim (`0.0f64`, `1_000`, `0x1f`).
+    Num(String),
+    /// A string, raw-string, char, or byte literal (content dropped).
+    Str,
+    /// A single punctuation character (`:`, `.`, `(`, ...).
+    Punct(char),
+}
+
+impl Token {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), with the line it starts on. Doc
+/// comments (`///`, `//!`) are ordinary comments here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment text including its delimiters.
+    pub text: String,
+}
+
+/// The lexed file: code tokens and the comment stream, both in source
+/// order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens (comments, strings, and lifetimes excluded).
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails; unrecognized bytes become
+/// punctuation tokens.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string();
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string();
+                }
+                '\'' => self.lifetime_or_char(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().expect("peeked");
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Punct(c),
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when the chars at `self.pos + from` look like the start of
+    /// a raw string body: zero or more `#` then `"`.
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// `"..."` with backslash escapes. Emits one `Str` token.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            line,
+        });
+    }
+
+    /// `#*"..."#*` (the `r`/`br` prefix is already consumed).
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            line,
+        });
+    }
+
+    /// A `'`: either a lifetime (`'a`, `'static`) — skipped entirely —
+    /// or a char literal — one `Str` token.
+    fn lifetime_or_char(&mut self) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c == '_' || c.is_alphabetic()) && after != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                self.bump();
+            }
+            return;
+        }
+        self.char_literal();
+    }
+
+    /// `'x'` or `'\n'` (the `b` prefix, if any, is already consumed).
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            line,
+        });
+    }
+
+    /// A numeric literal, kept verbatim so rules can recognize float
+    /// zeros (`0.0`, `0f32`, `0.000_f64`). A `.` is part of the number
+    /// only when not followed by another `.` (so `0..10` lexes as two
+    /// numbers and a range).
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let in_number = c == '_'
+                || c.is_ascii_alphanumeric()
+                || (c == '.' && matches!(self.peek(1), Some(d) if d != '.'));
+            if !in_number {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Num(text),
+            line,
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            text.push(self.bump().expect("peeked"));
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Ident(text),
+            line,
+        });
+    }
+}
+
+/// True when a numeric literal token spells a floating-point zero
+/// (`0.0`, `0.00f64`, `0f32`, `0_.0`); integer zeros are not floats.
+pub fn is_float_zero(text: &str) -> bool {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (t, suffixed) = match t.strip_suffix("f32").or_else(|| t.strip_suffix("f64")) {
+        Some(stripped) => (stripped, true),
+        None => (t.as_str(), false),
+    };
+    if !(suffixed || t.contains('.')) {
+        return false;
+    }
+    matches!(t.parse::<f64>(), Ok(v) if v == 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_not_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            /// HashMap in a doc comment
+            fn f<'a>(x: &'a str) -> char {
+                let _s = "HashMap and Instant::now()";
+                let _r = r#"SystemTime::now in a raw "string""#;
+                let _c = 'h';
+                let _b = b'\'';
+                'x'
+            }
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "Instant"));
+        assert!(ids.iter().any(|i| i == "fn"));
+        assert!(
+            ids.iter().any(|i| i == "str"),
+            "lifetime must not eat the type"
+        );
+    }
+
+    #[test]
+    fn comment_stream_is_captured_with_lines() {
+        let src = "let a = 1;\n// SAFETY: fine\nunsafe {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("SAFETY"));
+        let unsafe_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unsafe"))
+            .expect("unsafe token");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_ranges_split() {
+        let lexed = lex("fold(0.0f64, m); for i in 0..10 {}");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0.0f64", "0", "10"]);
+    }
+
+    #[test]
+    fn float_zero_recognition() {
+        for yes in ["0.0", "0.00", "0.0f64", "0f32", "0_.0", "0.000_f64"] {
+            assert!(is_float_zero(yes), "{yes} is a float zero");
+        }
+        for no in ["0", "0x0", "1.0", "0.1", "0u64", "10"] {
+            assert!(!is_float_zero(no), "{no} is not a float zero");
+        }
+    }
+}

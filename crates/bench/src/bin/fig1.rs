@@ -91,7 +91,7 @@ fn main() {
     let iters = if mocc_bench::full_scale() { 600 } else { 250 };
     let mut rng = StdRng::seed_from_u64(5);
     let mut aurora = AuroraAgent::new(MoccConfig::default(), Preference::latency(), &mut rng);
-    let t0 = std::time::Instant::now();
+    let t0 = mocc_bench::timing::Stopwatch::start();
     let curve = aurora.train(ScenarioRange::training(), iters, 5);
     let smooth: Vec<f32> = curve
         .windows(10)
@@ -100,7 +100,7 @@ fn main() {
     let conv = convergence_iter(&smooth, 0.99);
     println!(
         "training iterations: {iters}, wall: {:.1}s",
-        t0.elapsed().as_secs_f64()
+        t0.elapsed_secs()
     );
     println!(
         "convergence (99% of max gain) at iteration: {:?} (paper: Aurora takes ~1.2 h wall-clock at full scale)",
@@ -110,10 +110,7 @@ fn main() {
         println!("  iter {i:>4}: reward {r:.3}");
     }
 
-    let best_varying = fig_a
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let best_varying = fig_a.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     println!(
         "\nsummary: best mean throughput on varying link = {} ({:.2} Mbps)",
         best_varying.0, best_varying.1

@@ -59,8 +59,11 @@ fn main() {
                 omega_step: Some(k),
                 ..mocc_core::TrainSpec::default()
             };
-            let run = mocc_core::train_spec(&spec, &mocc_core::TrainOptions::default())
-                .expect("fig16 spec is valid");
+            let opts = mocc_core::TrainOptions {
+                clock: Some(mocc_bench::timing::monotonic_secs),
+                ..mocc_core::TrainOptions::default()
+            };
+            let run = mocc_core::train_spec(&spec, &opts).expect("fig16 spec is valid");
             run.agent.save(&cache).expect("cache omega model");
             (run.agent, run.outcome.wall_secs, run.outcome.iterations)
         };

@@ -9,21 +9,21 @@
 //! frequency. `cargo bench -p mocc-bench` runs the same measurements
 //! under Criterion for confidence intervals.
 
+use mocc_bench::timing::Stopwatch;
 use mocc_core::{stats_features, Preference};
 use mocc_netsim::cc::{AckInfo, CongestionControl, RateControl, SenderView};
 use mocc_netsim::time::{SimDuration, SimTime};
-use std::time::Instant;
 
 fn measure<F: FnMut()>(mut f: F, iters: usize) -> f64 {
     // Warmup.
     for _ in 0..iters / 10 {
         f();
     }
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     for _ in 0..iters {
         f();
     }
-    t0.elapsed().as_secs_f64() / iters as f64
+    t0.elapsed_secs() / iters as f64
 }
 
 fn main() {

@@ -48,7 +48,7 @@ impl CongestionControl for DqnCc {
         let best = qs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let a = self.dqn_actions[best] as f64;
@@ -88,14 +88,14 @@ fn main() {
     );
     let landmarks = mocc_core::landmarks(cfg.omega_step);
     eprintln!("[fig18] training MOCC-DQN for {episodes} episodes...");
-    let t0 = std::time::Instant::now();
+    let t0 = mocc_bench::timing::Stopwatch::start();
     for ep in 0..episodes {
         let pref = landmarks[ep % landmarks.len()];
         let seed: u64 = rng.gen();
         let mut env = MoccEnv::training(cfg, pref, ScenarioRange::training(), seed);
         let _ = dqn.train_episode(&mut env, cfg.episode_mis, &mut rng);
     }
-    eprintln!("[fig18] DQN training: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("[fig18] DQN training: {:.1}s", t0.elapsed_secs());
 
     // Score both on random objectives × conditions.
     let mut objective_rng = StdRng::seed_from_u64(77);

@@ -45,8 +45,11 @@ fn main() {
             regime,
             ..base.clone()
         };
-        let run = mocc_core::train_spec(&spec, &mocc_core::TrainOptions::default())
-            .expect("fig19 spec is valid");
+        let opts = mocc_core::TrainOptions {
+            clock: Some(mocc_bench::timing::monotonic_secs),
+            ..mocc_core::TrainOptions::default()
+        };
+        let run = mocc_core::train_spec(&spec, &opts).expect("fig19 spec is valid");
         println!(
             "{name:<20} {:>7} iterations {:>9.1} s wall",
             run.outcome.iterations, run.outcome.wall_secs

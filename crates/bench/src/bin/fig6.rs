@@ -100,7 +100,7 @@ fn main() {
                     .models
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| a.pref.l1(w).partial_cmp(&b.pref.l1(w)).unwrap())
+                    .min_by(|(_, a), (_, b)| a.pref.l1(w).total_cmp(&b.pref.l1(w)))
                     .map(|(i, _)| i)
                     .unwrap();
                 if runs[idx].is_none() {
@@ -147,7 +147,7 @@ fn main() {
     results.sort_by(|a, b| {
         let ma = a.1.iter().sum::<f32>() / a.1.len() as f32;
         let mb = b.1.iter().sum::<f32>() / b.1.len() as f32;
-        ma.partial_cmp(&mb).unwrap()
+        ma.total_cmp(&mb)
     });
     for (label, rewards) in &results {
         let xs: Vec<f64> = rewards.iter().map(|&r| r as f64).collect();

@@ -28,7 +28,7 @@ fn main() {
     // --- MOCC: transfer + requirement replay ---
     let agent = mocc_bench::trained_mocc();
     let mut adapter = OnlineAdapter::new(agent, vec![old_pref], 11);
-    let t0 = std::time::Instant::now();
+    let t0 = mocc_bench::timing::Stopwatch::start();
     let mocc_curve = adapter.adapt(
         new_pref,
         range,
@@ -36,14 +36,14 @@ fn main() {
         true,
         Some((old_pref, eval_sc.clone(), eval_every)),
     );
-    let mocc_wall = t0.elapsed().as_secs_f64();
+    let mocc_wall = t0.elapsed_secs();
 
     // --- Aurora: from scratch on the new objective ---
     let mut rng = StdRng::seed_from_u64(3);
     let mut aurora = AuroraAgent::new(MoccConfig::default(), new_pref, &mut rng);
-    let t1 = std::time::Instant::now();
+    let t1 = mocc_bench::timing::Stopwatch::start();
     let aurora_curve = aurora.train(range, iters, 3);
-    let aurora_wall = t1.elapsed().as_secs_f64();
+    let aurora_wall = t1.elapsed_secs();
 
     // --- Aurora forgetting: fine-tune the *old* thr model to the new
     // objective and watch the old objective's reward collapse ---

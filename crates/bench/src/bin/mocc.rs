@@ -9,6 +9,7 @@
 //! mocc list-schemes
 //! mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
 //! mocc serve [--cache-dir DIR] [--socket PATH] [--threads N]
+//! mocc audit [ROOT] [--format json|text] [--rule ID]
 //! ```
 //!
 //! `run` loads an [`ExperimentSpec`] document (see `docs/SPECS.md`),
@@ -45,6 +46,10 @@
 //! or a Unix socket with `--socket`), sharing one store across
 //! clients.
 //!
+//! `audit` runs the workspace's static-analysis pass (`mocc-audit`,
+//! see `docs/AUDIT.md`): byte-determinism and unsafe-hygiene contract
+//! rules over every workspace crate, exiting nonzero on any finding.
+//!
 //! [`SpecError`]: mocc_eval::SpecError
 //! [`TrainSpec`]: mocc_core::TrainSpec
 
@@ -68,6 +73,7 @@ USAGE:
     mocc list-schemes
     mocc cache stats|verify|gc [--cache-dir DIR] [--older-than-days N]
     mocc serve [--cache-dir DIR] [--socket PATH] [--threads N]
+    mocc audit [ROOT] [--format json|text] [--rule ID]
 
 OPTIONS (run):
     --threads N   worker threads (default: MOCC_SWEEP_THREADS or all cores)
@@ -100,6 +106,13 @@ OPTIONS (cache gc):
 
 OPTIONS (serve):
     --socket PATH  accept connections on a Unix socket instead of stdin
+
+OPTIONS (audit):
+    --format FMT   report format: text (default) or json (canonical,
+                   byte-stable — see docs/AUDIT.md)
+    --rule ID      report only findings of one rule
+    ROOT           workspace root to scan (default: ascend from the
+                   working directory to the [workspace] Cargo.toml)
 ";
 
 /// Environment variable naming the default store directory.
@@ -121,6 +134,7 @@ fn main() -> ExitCode {
         Some("list-schemes") => cmd_list_schemes(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -212,6 +226,20 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, Options), String> {
                         .clone(),
                 )
             }
+            "--format" => {
+                opts.format = Some(
+                    it.next()
+                        .ok_or_else(|| "--format needs `json` or `text`".to_string())?
+                        .clone(),
+                )
+            }
+            "--rule" => {
+                opts.rule = Some(
+                    it.next()
+                        .ok_or_else(|| "--rule needs a rule id".to_string())?
+                        .clone(),
+                )
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}\n\n{USAGE}"))
             }
@@ -238,6 +266,8 @@ struct Options {
     baseline: Option<String>,
     out_dir: Option<String>,
     seed: Option<u64>,
+    format: Option<String>,
+    rule: Option<String>,
 }
 
 impl Options {
@@ -246,6 +276,7 @@ impl Options {
     fn store_root(&self) -> PathBuf {
         match &self.cache_dir {
             Some(dir) => PathBuf::from(dir),
+            // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_CACHE_DIR in the CLI
             None => std::env::var(CACHE_DIR_ENV)
                 .map(PathBuf::from)
                 .unwrap_or_else(|_| PathBuf::from(DEFAULT_CACHE_DIR)),
@@ -276,6 +307,7 @@ impl Options {
     fn zoo_root(&self) -> PathBuf {
         match &self.zoo {
             Some(dir) => PathBuf::from(dir),
+            // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_ZOO_DIR
             None => std::env::var(ZOO_DIR_ENV)
                 .map(PathBuf::from)
                 .unwrap_or_else(|_| PathBuf::from(DEFAULT_ZOO_DIR)),
@@ -293,9 +325,12 @@ fn parse_count<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Res
         .ok_or_else(|| format!("{flag} {raw:?} is not a positive integer"))
 }
 
-/// Unix seconds — the only place in the pipeline that reads a clock;
-/// libraries take timestamps as arguments to stay deterministic.
+/// Unix seconds — the CLI's timestamp chokepoint; libraries take
+/// timestamps as arguments to stay deterministic. One of the two
+/// named clock sites (`mocc audit` clock-discipline; the other is
+/// `mocc_bench::timing`).
 fn now_ts() -> u64 {
+    // audit:allow(clock-discipline): the CLI timestamp chokepoint — timestamps flow into the cache ledger, never into results
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -492,6 +527,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         checkpoint_dir: Some(checkpoint_dir.clone()),
         resume_from: opts.resume.as_ref().map(PathBuf::from),
         max_iters: opts.max_iters,
+        // Wall-time logging only; training itself never reads a clock.
+        clock: Some(mocc_bench::timing::monotonic_secs),
     };
     let total = spec.schedule_len().map_err(|e| format!("{path}: {e}"))?;
     eprintln!(
@@ -681,6 +718,57 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
         other => Err(format!(
             "unknown cache action {other:?}: expected stats, verify, or gc"
         )),
+    }
+}
+
+/// Runs the workspace static-analysis pass (docs/AUDIT.md). Exits
+/// nonzero on any finding, so CI can gate on it directly.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = split_options(args)?;
+    if opts.threads.is_some()
+        || opts.batch.is_some()
+        || opts.fast_math
+        || opts.cache
+        || opts.out.is_some()
+        || opts.socket.is_some()
+    {
+        return Err("`mocc audit` takes only --format, --rule, and an optional root".to_string());
+    }
+    let root = match positional.as_slice() {
+        [] => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            mocc_audit::workspace_root_from(&cwd).ok_or_else(|| {
+                "no [workspace] Cargo.toml above the working directory; pass the root explicitly"
+                    .to_string()
+            })?
+        }
+        [dir] => PathBuf::from(dir),
+        _ => return Err(format!("`mocc audit` takes at most one root\n\n{USAGE}")),
+    };
+    let mut report = mocc_audit::audit_workspace(&root)
+        .map_err(|e| format!("auditing {}: {e}", root.display()))?;
+    if let Some(rule) = &opts.rule {
+        if mocc_audit::rules::rule_by_id(rule).is_none() {
+            let known: Vec<&str> = mocc_audit::rules::RULES.iter().map(|r| r.id).collect();
+            return Err(format!(
+                "unknown rule {rule:?}; known rules: {}",
+                known.join(", ")
+            ));
+        }
+        report.retain_rule(rule);
+    }
+    match opts.format.as_deref() {
+        None | Some("text") => print!("{}", report.to_text()),
+        Some("json") => print!("{}", report.to_json()),
+        Some(other) => return Err(format!("--format takes `json` or `text`, not {other:?}")),
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "audit found {} violation(s) (rules: docs/AUDIT.md)",
+            report.findings.len()
+        ))
     }
 }
 

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
 
     let report = perf::measure();
     let json = report.to_canonical_json();
+    // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_PERF_OUT
     let out = std::env::var("MOCC_PERF_OUT").unwrap_or_else(|_| "BENCH_perf.json".to_string());
     std::fs::write(&out, &json).expect("write perf report");
     println!("{json}");

@@ -11,7 +11,10 @@
 //! paper) experiment scales; the default is a reduced scale that keeps
 //! every figure under a few minutes.
 
+#![forbid(unsafe_code)]
+
 pub mod perf;
+pub mod timing;
 
 use mocc_core::{AuroraAgent, AuroraBank, AuroraCc, MoccAgent, MoccCc, MoccConfig, Preference};
 use mocc_netsim::cc::CongestionControl;
@@ -23,6 +26,7 @@ use std::path::PathBuf;
 
 /// True when the user asked for the full-scale (slow) experiments.
 pub fn full_scale() -> bool {
+    // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_BENCH_FULL
     std::env::var("MOCC_BENCH_FULL")
         .map(|v| v == "1")
         .unwrap_or(false)
@@ -30,6 +34,7 @@ pub fn full_scale() -> bool {
 
 /// Directory caching trained models across figure binaries.
 pub fn cache_dir() -> PathBuf {
+    // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_CACHE_DIR
     let dir = std::env::var("MOCC_CACHE_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/mocc-cache"));
@@ -70,8 +75,11 @@ pub fn trained_mocc() -> MoccAgent {
     }
     eprintln!("[cache] training MOCC offline (one-time, ~1 min)...");
     let spec = default_train_spec();
-    let run = mocc_core::train_spec(&spec, &mocc_core::TrainOptions::default())
-        .expect("the default train spec is valid");
+    let opts = mocc_core::TrainOptions {
+        clock: Some(crate::timing::monotonic_secs),
+        ..mocc_core::TrainOptions::default()
+    };
+    let run = mocc_core::train_spec(&spec, &opts).expect("the default train spec is valid");
     eprintln!(
         "[cache] offline training done: {} iterations, {:.1}s",
         run.outcome.iterations, run.outcome.wall_secs

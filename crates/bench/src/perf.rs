@@ -11,6 +11,7 @@
 //! floats) and is written to `BENCH_perf.json` by the `perf` binary —
 //! the artifact that seeds the repository's performance trajectory.
 
+use crate::timing::Stopwatch;
 use mocc_core::{MoccAgent, MoccConfig, Preference};
 use mocc_eval::{BaselineFactory, FlowLoad, SweepRunner, SweepSpec, TraceShape};
 use mocc_netsim::{Scenario, Simulator};
@@ -21,7 +22,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
-use std::time::Instant;
 
 // The env name and its strict parser are criterion's: the bench smoke
 // and the perf gate must always read MOCC_BENCH_FIXED_ITERS the same
@@ -58,6 +58,7 @@ pub fn parse_tolerance(raw: Option<&str>) -> Result<f64, String> {
 ///
 /// Panics with a clear message on unparsable or zero values.
 pub fn fixed_iters() -> Option<u64> {
+    // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_BENCH_FIXED_ITERS
     let raw = std::env::var(FIXED_ITERS_ENV).ok();
     parse_fixed_iters(raw.as_deref()).unwrap_or_else(|msg| panic!("{msg}"))
 }
@@ -68,6 +69,7 @@ pub fn fixed_iters() -> Option<u64> {
 ///
 /// Panics on values outside (0, 1].
 pub fn tolerance() -> f64 {
+    // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_PERF_TOLERANCE
     let raw = std::env::var(TOLERANCE_ENV).ok();
     parse_tolerance(raw.as_deref()).unwrap_or_else(|msg| panic!("{msg}"))
 }
@@ -181,9 +183,9 @@ fn obs_rows(n: usize) -> Vec<f32> {
 fn best_of<F: FnMut()>(reps: u64, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         f();
-        best = best.min(t.elapsed().as_secs_f64());
+        best = best.min(t.elapsed_secs());
     }
     best
 }

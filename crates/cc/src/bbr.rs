@@ -67,7 +67,11 @@ impl Bbr {
 
     /// Max-filtered bottleneck-bandwidth estimate, bps.
     pub fn btl_bw(&self) -> f64 {
-        self.bw_samples.iter().cloned().fold(0.0, f64::max)
+        self.bw_samples
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0)
     }
 
     #[cfg(test)]

@@ -18,6 +18,8 @@
 //! assert!(res.flows[0].utilization > 0.8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bbr;
 pub mod copa;
 pub mod cubic;

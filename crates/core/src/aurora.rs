@@ -140,12 +140,7 @@ impl AuroraBank {
     pub fn best_for(&self, pref: &Preference) -> &AuroraAgent {
         self.models
             .iter()
-            .min_by(|a, b| {
-                a.pref
-                    .l1(pref)
-                    .partial_cmp(&b.pref.l1(pref))
-                    .expect("finite distances")
-            })
+            .min_by(|a, b| a.pref.l1(pref).total_cmp(&b.pref.l1(pref)))
             .expect("nonempty bank")
     }
 }

@@ -129,7 +129,7 @@ pub fn default_pivots(points: &[Preference]) -> Vec<usize> {
         points
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.l1(target).partial_cmp(&b.l1(target)).unwrap())
+            .min_by(|(_, a), (_, b)| a.l1(target).total_cmp(&b.l1(target)))
             .map(|(i, _)| i)
             .expect("nonempty landmark set")
     })

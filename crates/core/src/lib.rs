@@ -32,6 +32,8 @@
 //! assert!(a.is_finite() && b.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adapter;
 pub mod agent;
 pub mod api;

@@ -148,7 +148,7 @@ pub fn landmark_count(k: usize) -> usize {
 /// Finds the landmark nearest (L1) to `target`.
 pub fn nearest<'a>(set: &'a [Preference], target: &Preference) -> &'a Preference {
     set.iter()
-        .min_by(|a, b| a.l1(target).partial_cmp(&b.l1(target)).unwrap())
+        .min_by(|a, b| a.l1(target).total_cmp(&b.l1(target)))
         .expect("nonempty landmark set")
 }
 

@@ -13,10 +13,6 @@ use mocc_nn::{Activation, ForwardTier, Matrix, Mlp, MlpScratch, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Slot offset separating preference-sub-network parameters from trunk
-/// parameters in optimizer state.
-const PN_SLOT_OFFSET: usize = 1_000;
-
 /// The MOCC policy network: preference sub-network ⊕ trunk (Fig. 3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PrefNet {
@@ -172,8 +168,15 @@ impl Network for PrefNet {
 
     fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
         self.main.for_each_param(&mut f);
-        self.pn
-            .for_each_param(|slot, p, g| f(slot + PN_SLOT_OFFSET, p, g));
+        // Preference-sub-network slots continue after the trunk's so
+        // the combined numbering stays dense (the optimizer keys
+        // moment buffers by index).
+        let base = self.main.param_slots();
+        self.pn.for_each_param(|slot, p, g| f(slot + base, p, g));
+    }
+
+    fn param_slots(&self) -> usize {
+        self.main.param_slots() + self.pn.param_slots()
     }
 
     fn copy_params_from(&mut self, other: &Self) {
@@ -305,11 +308,12 @@ mod tests {
                 "slot {slot}: fd {fd} vs analytic {an}"
             );
         }
-        // The PN must actually receive gradient (slots ≥ offset exist
-        // with nonzero gradient).
+        // The PN must actually receive gradient (slots after the
+        // trunk's exist with nonzero gradient).
+        let base = n.main.param_slots();
         assert!(slots
             .iter()
-            .any(|(s, g)| *s >= 1_000 && g.iter().any(|&x| x != 0.0)));
+            .any(|(s, g)| *s >= base && g.iter().any(|&x| x != 0.0)));
     }
 
     #[test]

@@ -32,7 +32,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// One planned PPO iteration: which landmark to train, and whether the
 /// update also sees a contrast rollout for a random other landmark
@@ -214,6 +213,13 @@ pub struct TrainOptions {
     /// already in the resumed checkpoint). The run reports
     /// `completed: false` if the cap cut it short.
     pub max_iters: Option<usize>,
+    /// Wall-clock source for [`TrainOutcome::wall_secs`] logging.
+    /// `mocc-core` never reads a clock itself (the byte-determinism
+    /// contract, enforced by `mocc audit`): callers that want wall
+    /// time inject one — the CLI and harness pass
+    /// `mocc_bench::timing::monotonic_secs`. `None` reports 0.0.
+    /// Timing never feeds back into training state.
+    pub clock: Option<fn() -> f64>,
 }
 
 /// What [`train_spec`] hands back: the trained agent, the outcome
@@ -301,7 +307,7 @@ pub fn train_spec(spec: &TrainSpec, opts: &TrainOptions) -> Result<TrainRun, Spe
     let end = opts
         .max_iters
         .map_or(schedule.len(), |m| schedule.len().min(m));
-    let started = Instant::now();
+    let started = opts.clock.map(|c| c());
     let checkpoint_every = spec.checkpoint_every;
     let mut after_iter = |done: usize, agent: &MoccAgent, rng: &StdRng, curve: &[f32]| {
         let Some(dir) = &opts.checkpoint_dir else {
@@ -340,7 +346,10 @@ pub fn train_spec(spec: &TrainSpec, opts: &TrainOptions) -> Result<TrainRun, Spe
         agent,
         outcome: TrainOutcome {
             iterations,
-            wall_secs: started.elapsed().as_secs_f64(),
+            wall_secs: match (opts.clock, started) {
+                (Some(clock), Some(t0)) => clock() - t0,
+                _ => 0.0,
+            },
             curve,
         },
         completed: end == schedule.len(),

@@ -216,7 +216,11 @@ impl ContenderMix {
                 });
             }
         }
-        let last_join = lineup.iter().fold(0.0f64, |m, &(_, s, _)| m.max(s));
+        let last_join = lineup
+            .iter()
+            .map(|&(_, s, _)| s)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
         let first_leave = lineup
             .iter()
             .fold(dur, |m, &(_, _, stop)| m.min(stop.unwrap_or(dur)));
@@ -482,7 +486,8 @@ impl CompetitionCell {
             .flows
             .iter()
             .map(|f| f.start.as_secs_f64())
-            .fold(0.0, f64::max);
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
         let hi = self
             .scenario
             .flows

@@ -65,6 +65,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod competition;
 pub mod experiment;

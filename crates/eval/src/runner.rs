@@ -268,6 +268,7 @@ impl SweepRunner {
     /// Panics with a clear message if `MOCC_SWEEP_THREADS` is set to
     /// anything but a positive integer.
     pub fn auto() -> Self {
+        // audit:allow(env-discipline): strict-parse helper — the one reader of MOCC_SWEEP_THREADS
         let env = std::env::var(THREADS_ENV).ok();
         let threads = match parse_threads(env.as_deref()) {
             Ok(Some(n)) => n,

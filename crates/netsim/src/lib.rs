@@ -24,6 +24,8 @@
 //! assert!(res.flows[0].utilization > 0.15);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod cc;
 pub mod metrics;

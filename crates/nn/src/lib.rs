@@ -35,6 +35,8 @@
 //! assert!((y - 0.5).abs() < 0.1, "y = {y}");
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod matrix;
 pub mod mlp;
 pub mod network;

@@ -339,6 +339,14 @@ impl Mlp {
         }
     }
 
+    /// Number of parameter slots visited by [`Mlp::for_each_param`]
+    /// (two per layer: weights then bias). Slot indices are dense in
+    /// `0..param_slots()`, so wrappers adding their own tensors can
+    /// keep a dense numbering by continuing from here.
+    pub fn param_slots(&self) -> usize {
+        2 * self.layers.len()
+    }
+
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.w.data.len() + l.b.len()).sum()

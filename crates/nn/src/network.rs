@@ -73,8 +73,16 @@ pub trait Network: Clone + Send {
     fn zero_grad(&mut self);
 
     /// Visits each parameter tensor with its gradient under a stable
-    /// slot index (for per-slot optimizer state).
+    /// slot index (for per-slot optimizer state). Slot indices must be
+    /// dense in `0..param_slots()` — the optimizer keys its moment
+    /// buffers by index, so sparse sentinel slots are not allowed.
     fn for_each_param(&mut self, f: impl FnMut(usize, &mut [f32], &[f32]));
+
+    /// Number of parameter slots visited by [`Network::for_each_param`].
+    /// Wrappers that append their own tensors (extra sub-networks,
+    /// scalar parameters) keep the numbering dense by continuing from
+    /// the inner network's count.
+    fn param_slots(&self) -> usize;
 
     /// Copies all parameters from another network of the same shape.
     fn copy_params_from(&mut self, other: &Self);
@@ -134,6 +142,10 @@ impl Network for Mlp {
 
     fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
         Mlp::for_each_param(self, &mut f)
+    }
+
+    fn param_slots(&self) -> usize {
+        Mlp::param_slots(self)
     }
 
     fn copy_params_from(&mut self, other: &Self) {

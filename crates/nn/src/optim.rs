@@ -4,13 +4,14 @@
 //! SGD is provided for ablations and tests.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Adam (Kingma & Ba, 2014) with per-slot first/second-moment state.
 ///
 /// Parameter tensors are identified by a stable `slot` index supplied by
 /// the model (see [`crate::mlp::Mlp::for_each_param`]); state buffers
-/// are lazily sized on first use.
+/// are lazily sized on first use. Moments are index-keyed `Vec`s, not a
+/// hash map: slot indices are small and dense, and checkpoint bytes
+/// must not depend on a process-randomized iteration order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     /// Learning rate.
@@ -22,8 +23,8 @@ pub struct Adam {
     /// Numerical-stability epsilon.
     pub eps: f32,
     t: u64,
-    m: HashMap<usize, Vec<f32>>,
-    v: HashMap<usize, Vec<f32>>,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
 }
 
 impl Adam {
@@ -35,8 +36,8 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            m: Vec::new(),
+            v: Vec::new(),
         }
     }
 
@@ -50,14 +51,16 @@ impl Adam {
     pub fn update_slot(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
         debug_assert_eq!(params.len(), grads.len());
         let t = self.t.max(1);
-        let m = self
-            .m
-            .entry(slot)
-            .or_insert_with(|| vec![0.0; params.len()]);
-        let v = self
-            .v
-            .entry(slot)
-            .or_insert_with(|| vec![0.0; params.len()]);
+        if self.m.len() <= slot {
+            self.m.resize(slot + 1, Vec::new());
+            self.v.resize(slot + 1, Vec::new());
+        }
+        if self.m[slot].is_empty() {
+            self.m[slot] = vec![0.0; params.len()];
+            self.v[slot] = vec![0.0; params.len()];
+        }
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
         let b1 = self.beta1;
         let b2 = self.beta2;
         let bc1 = 1.0 - b1.powi(t as i32);
@@ -172,6 +175,21 @@ mod tests {
         let mut h = vec![0.3f32, 0.4];
         clip_grad_norm(&mut h, 1.0);
         assert_eq!(h, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn adam_accepts_slots_in_any_order() {
+        // Slot 2 touched before slot 0: the index-keyed buffers must
+        // grow to fit and keep untouched slots empty.
+        let mut adam = Adam::new(0.1);
+        let mut hi = vec![5.0f32];
+        adam.begin_step();
+        adam.update_slot(2, &mut hi, &[1.0]);
+        let mut lo = vec![1.0f32, 2.0];
+        adam.update_slot(0, &mut lo, &[0.5, -0.5]);
+        assert_eq!(adam.m.len(), 3);
+        assert!(adam.m[1].is_empty());
+        assert_eq!(adam.m[0].len(), 2);
     }
 
     #[test]

@@ -341,29 +341,33 @@ mod avx2 {
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn fast_tanh_slice(xs: &mut [f32]) {
-        let hi = _mm256_set1_ps(FAST_TANH_CLAMP);
-        let lo = _mm256_set1_ps(-FAST_TANH_CLAMP);
-        let mut chunks = xs.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            let x = _mm256_loadu_ps(chunk.as_ptr());
-            let x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
-            let x2 = _mm256_mul_ps(x, x);
-            let mut p = _mm256_set1_ps(ALPHA_13);
-            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_11));
-            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_9));
-            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_7));
-            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_5));
-            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_3));
-            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_1));
-            let p = _mm256_mul_ps(p, x);
-            let mut q = _mm256_set1_ps(BETA_6);
-            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_4));
-            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_2));
-            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_0));
-            _mm256_storeu_ps(chunk.as_mut_ptr(), _mm256_div_ps(p, q));
-        }
-        for x in chunks.into_remainder() {
-            *x = fast_tanh(*x);
+        // SAFETY: the caller guarantees AVX2; every load/store is the
+        // unaligned variant over an exact 8-lane chunk of `xs`.
+        unsafe {
+            let hi = _mm256_set1_ps(FAST_TANH_CLAMP);
+            let lo = _mm256_set1_ps(-FAST_TANH_CLAMP);
+            let mut chunks = xs.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                let x = _mm256_loadu_ps(chunk.as_ptr());
+                let x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+                let x2 = _mm256_mul_ps(x, x);
+                let mut p = _mm256_set1_ps(ALPHA_13);
+                p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_11));
+                p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_9));
+                p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_7));
+                p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_5));
+                p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_3));
+                p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(ALPHA_1));
+                let p = _mm256_mul_ps(p, x);
+                let mut q = _mm256_set1_ps(BETA_6);
+                q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_4));
+                q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_2));
+                q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(BETA_0));
+                _mm256_storeu_ps(chunk.as_mut_ptr(), _mm256_div_ps(p, q));
+            }
+            for x in chunks.into_remainder() {
+                *x = fast_tanh(*x);
+            }
         }
     }
 
@@ -371,19 +375,25 @@ mod avx2 {
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn axpy(out: &mut [f32], a: f32, w: &[f32]) {
-        debug_assert_eq!(out.len(), w.len());
-        let av = _mm256_set1_ps(a);
-        let n = out.len() / 8 * 8;
-        for i in (0..n).step_by(8) {
-            let o = _mm256_loadu_ps(out.as_ptr().add(i));
-            let b = _mm256_loadu_ps(w.as_ptr().add(i));
-            _mm256_storeu_ps(
-                out.as_mut_ptr().add(i),
-                _mm256_add_ps(o, _mm256_mul_ps(av, b)),
-            );
-        }
-        for i in n..out.len() {
-            out[i] += a * w[i];
+        // SAFETY: the caller guarantees AVX2; `n` is rounded down to a
+        // multiple of 8 and both slices are at least `n` long (equal
+        // lengths asserted above), so every 8-lane unaligned
+        // load/store at offset `i` stays in bounds.
+        unsafe {
+            debug_assert_eq!(out.len(), w.len());
+            let av = _mm256_set1_ps(a);
+            let n = out.len() / 8 * 8;
+            for i in (0..n).step_by(8) {
+                let o = _mm256_loadu_ps(out.as_ptr().add(i));
+                let b = _mm256_loadu_ps(w.as_ptr().add(i));
+                _mm256_storeu_ps(
+                    out.as_mut_ptr().add(i),
+                    _mm256_add_ps(o, _mm256_mul_ps(av, b)),
+                );
+            }
+            for i in n..out.len() {
+                out[i] += a * w[i];
+            }
         }
     }
 
@@ -401,77 +411,85 @@ mod avx2 {
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn accumulate(x: &Matrix, w: &Matrix, out: &mut Matrix) {
-        let kdim = x.cols;
-        let n = w.cols;
-        let rows = x.rows;
-        let full_r = rows / 4 * 4;
-        let full_j = n / 16 * 16;
-        for r in (0..full_r).step_by(4) {
-            let x0 = x.row(r);
-            let x1 = x.row(r + 1);
-            let x2 = x.row(r + 2);
-            let x3 = x.row(r + 3);
-            for j in (0..full_j).step_by(16) {
-                let o0 = out.data.as_mut_ptr().add(r * n + j);
-                let o1 = o0.add(n);
-                let o2 = o1.add(n);
-                let o3 = o2.add(n);
-                let mut a00 = _mm256_loadu_ps(o0);
-                let mut a01 = _mm256_loadu_ps(o0.add(8));
-                let mut a10 = _mm256_loadu_ps(o1);
-                let mut a11 = _mm256_loadu_ps(o1.add(8));
-                let mut a20 = _mm256_loadu_ps(o2);
-                let mut a21 = _mm256_loadu_ps(o2.add(8));
-                let mut a30 = _mm256_loadu_ps(o3);
-                let mut a31 = _mm256_loadu_ps(o3.add(8));
-                for k in 0..kdim {
-                    let wrow = w.row(k).as_ptr().add(j);
-                    let w0 = _mm256_loadu_ps(wrow);
-                    let w1 = _mm256_loadu_ps(wrow.add(8));
-                    let a = *x0.get_unchecked(k);
-                    if a != 0.0 {
-                        let av = _mm256_set1_ps(a);
-                        a00 = _mm256_add_ps(a00, _mm256_mul_ps(av, w0));
-                        a01 = _mm256_add_ps(a01, _mm256_mul_ps(av, w1));
+        // SAFETY: the caller guarantees AVX2. All pointer offsets are
+        // derived from the matrices' own row/col dimensions: the 4×16
+        // tile pointers `o0..o3` stay inside `out.data` because
+        // `r + 3 < rows` and `j + 15 < n`, weight loads read 16
+        // in-bounds floats of row `k`, and `get_unchecked(k)` has
+        // `k < kdim = x.cols`.
+        unsafe {
+            let kdim = x.cols;
+            let n = w.cols;
+            let rows = x.rows;
+            let full_r = rows / 4 * 4;
+            let full_j = n / 16 * 16;
+            for r in (0..full_r).step_by(4) {
+                let x0 = x.row(r);
+                let x1 = x.row(r + 1);
+                let x2 = x.row(r + 2);
+                let x3 = x.row(r + 3);
+                for j in (0..full_j).step_by(16) {
+                    let o0 = out.data.as_mut_ptr().add(r * n + j);
+                    let o1 = o0.add(n);
+                    let o2 = o1.add(n);
+                    let o3 = o2.add(n);
+                    let mut a00 = _mm256_loadu_ps(o0);
+                    let mut a01 = _mm256_loadu_ps(o0.add(8));
+                    let mut a10 = _mm256_loadu_ps(o1);
+                    let mut a11 = _mm256_loadu_ps(o1.add(8));
+                    let mut a20 = _mm256_loadu_ps(o2);
+                    let mut a21 = _mm256_loadu_ps(o2.add(8));
+                    let mut a30 = _mm256_loadu_ps(o3);
+                    let mut a31 = _mm256_loadu_ps(o3.add(8));
+                    for k in 0..kdim {
+                        let wrow = w.row(k).as_ptr().add(j);
+                        let w0 = _mm256_loadu_ps(wrow);
+                        let w1 = _mm256_loadu_ps(wrow.add(8));
+                        let a = *x0.get_unchecked(k);
+                        if a != 0.0 {
+                            let av = _mm256_set1_ps(a);
+                            a00 = _mm256_add_ps(a00, _mm256_mul_ps(av, w0));
+                            a01 = _mm256_add_ps(a01, _mm256_mul_ps(av, w1));
+                        }
+                        let a = *x1.get_unchecked(k);
+                        if a != 0.0 {
+                            let av = _mm256_set1_ps(a);
+                            a10 = _mm256_add_ps(a10, _mm256_mul_ps(av, w0));
+                            a11 = _mm256_add_ps(a11, _mm256_mul_ps(av, w1));
+                        }
+                        let a = *x2.get_unchecked(k);
+                        if a != 0.0 {
+                            let av = _mm256_set1_ps(a);
+                            a20 = _mm256_add_ps(a20, _mm256_mul_ps(av, w0));
+                            a21 = _mm256_add_ps(a21, _mm256_mul_ps(av, w1));
+                        }
+                        let a = *x3.get_unchecked(k);
+                        if a != 0.0 {
+                            let av = _mm256_set1_ps(a);
+                            a30 = _mm256_add_ps(a30, _mm256_mul_ps(av, w0));
+                            a31 = _mm256_add_ps(a31, _mm256_mul_ps(av, w1));
+                        }
                     }
-                    let a = *x1.get_unchecked(k);
-                    if a != 0.0 {
-                        let av = _mm256_set1_ps(a);
-                        a10 = _mm256_add_ps(a10, _mm256_mul_ps(av, w0));
-                        a11 = _mm256_add_ps(a11, _mm256_mul_ps(av, w1));
-                    }
-                    let a = *x2.get_unchecked(k);
-                    if a != 0.0 {
-                        let av = _mm256_set1_ps(a);
-                        a20 = _mm256_add_ps(a20, _mm256_mul_ps(av, w0));
-                        a21 = _mm256_add_ps(a21, _mm256_mul_ps(av, w1));
-                    }
-                    let a = *x3.get_unchecked(k);
-                    if a != 0.0 {
-                        let av = _mm256_set1_ps(a);
-                        a30 = _mm256_add_ps(a30, _mm256_mul_ps(av, w0));
-                        a31 = _mm256_add_ps(a31, _mm256_mul_ps(av, w1));
+                    _mm256_storeu_ps(o0, a00);
+                    _mm256_storeu_ps(o0.add(8), a01);
+                    _mm256_storeu_ps(o1, a10);
+                    _mm256_storeu_ps(o1.add(8), a11);
+                    _mm256_storeu_ps(o2, a20);
+                    _mm256_storeu_ps(o2.add(8), a21);
+                    _mm256_storeu_ps(o3, a30);
+                    _mm256_storeu_ps(o3.add(8), a31);
+                }
+                // Column tail (< 16 columns) for this row group.
+                if full_j < n {
+                    for rr in r..r + 4 {
+                        tail_row(x.row(rr), w, out, rr, full_j);
                     }
                 }
-                _mm256_storeu_ps(o0, a00);
-                _mm256_storeu_ps(o0.add(8), a01);
-                _mm256_storeu_ps(o1, a10);
-                _mm256_storeu_ps(o1.add(8), a11);
-                _mm256_storeu_ps(o2, a20);
-                _mm256_storeu_ps(o2.add(8), a21);
-                _mm256_storeu_ps(o3, a30);
-                _mm256_storeu_ps(o3.add(8), a31);
             }
-            // Column tail (< 16 columns) for this row group.
-            if full_j < n {
-                for rr in r..r + 4 {
-                    tail_row(x.row(rr), w, out, rr, full_j);
-                }
+            // Row tail (< 4 rows): the plain per-row traversal.
+            for rr in full_r..rows {
+                tail_row(x.row(rr), w, out, rr, 0);
             }
-        }
-        // Row tail (< 4 rows): the plain per-row traversal.
-        for rr in full_r..rows {
-            tail_row(x.row(rr), w, out, rr, 0);
         }
     }
 
@@ -483,11 +501,16 @@ mod avx2 {
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     unsafe fn tail_row(xrow: &[f32], w: &Matrix, out: &mut Matrix, rr: usize, j0: usize) {
-        let n = w.cols;
-        let out_row = &mut out.data[rr * n + j0..(rr + 1) * n];
-        for (k, &a) in xrow.iter().enumerate() {
-            if a != 0.0 {
-                axpy(out_row, a, &w.row(k)[j0..]);
+        // SAFETY: the caller guarantees AVX2, which is the only
+        // precondition of the dispatched `axpy`; slice indexing here
+        // is bounds-checked as usual.
+        unsafe {
+            let n = w.cols;
+            let out_row = &mut out.data[rr * n + j0..(rr + 1) * n];
+            for (k, &a) in xrow.iter().enumerate() {
+                if a != 0.0 {
+                    axpy(out_row, a, &w.row(k)[j0..]);
+                }
             }
         }
     }

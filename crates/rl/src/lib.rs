@@ -23,6 +23,8 @@
 //! assert!(stats.mean_reward.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch_rollout;
 pub mod dqn;
 pub mod env;

@@ -12,10 +12,6 @@ use mocc_nn::{ForwardTier, Matrix, Mlp, Network};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Parameter slot used for the log-std scalar when iterating policy
-/// parameters (chosen to never collide with network slots).
-pub const LOG_STD_SLOT: usize = usize::MAX - 1;
-
 /// Reusable buffers for allocation-free (batched) policy inference:
 /// the network's own scratch plus the batched-mean output matrix. One
 /// scratch serves any number of [`GaussianPolicy::act_batch`] /
@@ -216,12 +212,14 @@ impl<N: Network> GaussianPolicy<N> {
     }
 
     /// Visits every parameter tensor with its gradient, including the
-    /// log-std scalar under [`LOG_STD_SLOT`].
+    /// log-std scalar under the slot right after the network's (the
+    /// numbering stays dense, as the optimizer's index-keyed moment
+    /// buffers require).
     pub fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut [f32], &[f32])) {
         self.net.for_each_param(&mut f);
         let mut p = [self.log_std];
         let g = [self.g_log_std];
-        f(LOG_STD_SLOT, &mut p, &g);
+        f(self.net.param_slots(), &mut p, &g);
         self.log_std = p[0].clamp(-3.0, 0.3);
     }
 

@@ -26,6 +26,8 @@
 //! See `docs/CACHING.md` for the key-derivation, ledger-format, and
 //! gc contracts.
 
+#![forbid(unsafe_code)]
+
 mod ledger;
 mod sha256;
 mod store;

@@ -3,8 +3,10 @@
 //! Re-exports every sub-crate under a single name so that examples and
 //! integration tests can write `use mocc::core::...`. Downstream users
 //! normally depend on the individual crates directly.
+#![forbid(unsafe_code)]
 
 pub use mocc_apps as apps;
+pub use mocc_audit as audit;
 pub use mocc_cc as cc;
 pub use mocc_core as core;
 pub use mocc_eval as eval;

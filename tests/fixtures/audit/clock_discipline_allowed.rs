@@ -1,0 +1,8 @@
+// Fixture: the same clock read under an inline allow is suppressed.
+use std::time::Instant;
+
+fn elapsed() -> f64 {
+    // audit:allow(clock-discipline): fixture exercising the suppression path
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,8 @@
+// Fixture: reading a wall clock outside the allowlisted chokepoint
+// must trip clock-discipline.
+use std::time::Instant;
+
+fn elapsed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,9 @@
+// Fixture: the same read annotated as a strict-parse helper is
+// suppressed.
+fn threads() -> usize {
+    // audit:allow(env-discipline): strict-parse helper, fixture suppression path
+    std::env::var("FIXTURE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,7 @@
+// Fixture: an un-annotated environment read must trip env-discipline.
+fn threads() -> usize {
+    std::env::var("FIXTURE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,11 @@
+// Fixture: the same shapes under inline allows are suppressed.
+fn shapes(xs: &[f64]) -> f64 {
+    // audit:allow(float-determinism): fixture exercising the suppression path
+    let fused = xs[0].mul_add(2.0, 1.0);
+    let mut ys = xs.to_vec();
+    // audit:allow(float-determinism): fixture exercising the suppression path
+    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // audit:allow(float-determinism): fixture exercising the suppression path
+    let peak = xs.iter().copied().fold(0.0, f64::max);
+    fused + ys[0] + peak
+}

@@ -1,0 +1,9 @@
+// Fixture: all three float-determinism shapes — fused multiply-add,
+// partial_cmp().unwrap() ordering, and a zero-seeded max fold.
+fn shapes(xs: &[f64]) -> f64 {
+    let fused = xs[0].mul_add(2.0, 1.0);
+    let mut ys = xs.to_vec();
+    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let peak = xs.iter().copied().fold(0.0, f64::max);
+    fused + ys[0] + peak
+}

@@ -1,0 +1,12 @@
+// Fixture: a justified HashMap under inline allows is suppressed.
+// audit:allow(no-randomized-containers): fixture exercising the suppression path
+use std::collections::HashMap;
+
+fn count(words: &[&str]) -> usize {
+    // audit:allow(no-randomized-containers): never iterated, only probed by key
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *seen.entry(w).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,11 @@
+// Fixture: HashMap iteration order is seeded per process, so any use
+// must trip no-randomized-containers.
+use std::collections::HashMap;
+
+fn count(words: &[&str]) -> usize {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *seen.entry(w).or_insert(0) += 1;
+    }
+    seen.len()
+}

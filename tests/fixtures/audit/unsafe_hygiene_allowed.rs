@@ -1,0 +1,11 @@
+// Fixture: the same block with a SAFETY comment passes, and an inline
+// allow also suppresses the finding.
+fn first(xs: &[f32]) -> f32 {
+    // SAFETY: callers guarantee xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+fn second(xs: &[f32]) -> f32 {
+    // audit:allow(unsafe-hygiene): fixture exercising the suppression path
+    unsafe { *xs.get_unchecked(1) }
+}

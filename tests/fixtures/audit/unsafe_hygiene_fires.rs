@@ -1,0 +1,5 @@
+// Fixture: an unsafe block with no adjacent SAFETY comment must trip
+// unsafe-hygiene.
+fn first(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

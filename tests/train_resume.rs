@@ -179,6 +179,64 @@ fn zoo_model_runs_as_registry_scheme() {
     let _ = std::fs::remove_dir_all(&zoo);
 }
 
+/// Trains the cross-process spec, writing a mid-run checkpoint and the
+/// final zoo artifact under `out`. Returns the artifact path.
+fn produce_artifacts(out: &std::path::Path) -> PathBuf {
+    let spec = tiny_spec("resume-xproc");
+    train_spec(
+        &spec,
+        &TrainOptions {
+            checkpoint_dir: Some(out.join("ck")),
+            max_iters: Some(4),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    let run = train_spec(&spec, &TrainOptions::default()).unwrap();
+    save_trained(&out.join("zoo"), &spec, &run.agent, run.outcome.iterations).unwrap()
+}
+
+/// Checkpoint and model artifacts are byte-identical across *processes*,
+/// not just across runs in one process: a child re-invocation of this
+/// test binary produces the same bytes the parent does. This is the
+/// guard against process-randomized state sneaking into artifacts (the
+/// failure mode of hash-map-keyed optimizer moments, which seeded
+/// iteration order per process).
+#[test]
+fn checkpoint_bytes_identical_across_processes() {
+    if let Ok(out) = std::env::var("MOCC_TRAIN_CHILD") {
+        produce_artifacts(&PathBuf::from(out));
+        return;
+    }
+
+    let parent_out = tmp_dir("xproc-parent");
+    let artifact = produce_artifacts(&parent_out);
+
+    let child_out = tmp_dir("xproc-child");
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["checkpoint_bytes_identical_across_processes", "--exact"])
+        .env("MOCC_TRAIN_CHILD", &child_out)
+        .status()
+        .unwrap();
+    assert!(status.success(), "child training process failed");
+
+    let ck_rel = "ck/checkpoint.json";
+    assert_eq!(
+        std::fs::read(parent_out.join(ck_rel)).unwrap(),
+        std::fs::read(child_out.join(ck_rel)).unwrap(),
+        "checkpoint bytes must not depend on the producing process"
+    );
+    let artifact_rel = artifact.strip_prefix(&parent_out).unwrap();
+    assert_eq!(
+        std::fs::read(&artifact).unwrap(),
+        std::fs::read(child_out.join(artifact_rel)).unwrap(),
+        "model artifact bytes must not depend on the producing process"
+    );
+    for d in [parent_out, child_out] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
 /// Dropping `resume_from` into a foreign spec's checkpoint directory is
 /// refused (digest mismatch), so a zoo run can't silently continue the
 /// wrong training.
